@@ -1,0 +1,83 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's figures or tables: it runs
+the corresponding experiment, prints the same rows/series the paper
+reports, asserts the qualitative shape (who wins, direction of trends,
+where the anomaly appears), and times a representative unit of work via
+pytest-benchmark.
+
+Scale: datasets default to a reduced size so the whole suite finishes in
+minutes.  Set ``REPRO_BENCH_SCALE=paper`` to run at the published sizes
+(414 442 NJ-Road rectangles, 10 000 queries, 400 K construction inputs);
+expect a long run.
+"""
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data import charminar, nj_road_like
+from repro.eval import ExperimentRunner
+
+#: "paper" or "ci" (default).
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "ci")
+PAPER_SCALE = SCALE == "paper"
+
+#: Dataset / workload sizes per scale.
+NJ_N = 414_442 if PAPER_SCALE else 40_000
+CH_N = 40_000
+N_QUERIES = 10_000 if PAPER_SCALE else 1_500
+TABLE1_SMALL = 50_000
+TABLE1_LARGE = 400_000 if PAPER_SCALE else 150_000
+
+
+@pytest.fixture(scope="session")
+def nj_road():
+    """The (simulated) NJ Road dataset used by Figures 8, 9, 10(a)."""
+    return nj_road_like(NJ_N)
+
+
+@pytest.fixture(scope="session")
+def charminar_data():
+    """The Charminar dataset used by Figures 10(b) and 11."""
+    return charminar(CH_N)
+
+
+@pytest.fixture(scope="session")
+def nj_runner(nj_road):
+    return ExperimentRunner(nj_road)
+
+
+@pytest.fixture(scope="session")
+def charminar_runner(charminar_data):
+    return ExperimentRunner(charminar_data)
+
+
+#: Directory where each benchmark persists its printed artifact, so the
+#: regenerated figures/tables survive pytest's output capture.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def banner(title: str) -> str:
+    line = "=" * len(title)
+    return f"\n{line}\n{title}\n{line}"
+
+
+def save_artifact(name: str, text: str) -> str:
+    """Write a regenerated figure/table to ``benchmarks/results`` and
+    return the text unchanged (so call sites can print it too)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return text
+
+
+def assert_monotone_decreasing(values, *, slack=1.0, label=""):
+    """Assert a sequence trends downward (first > last, with slack for
+    neighbouring noise)."""
+    values = list(values)
+    assert values[-1] < values[0] * slack, (
+        f"{label}: expected a downward trend, got {values}"
+    )

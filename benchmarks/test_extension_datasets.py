@@ -1,0 +1,84 @@
+"""Extension: point and linear data (paper Section 1: "our techniques
+are applicable to point and linear data as well").
+
+Runs the headline comparison on three additional inputs:
+
+* **sequoia** — point-like landmark MBRs (the paper's second real-life
+  dataset family);
+* **nj_road at line granularity** — the road segments are degenerate/
+  thin rectangles, i.e. linear data (already the main dataset; included
+  here at a different seed as the linear-data row);
+* **diagonal** — rectangles along the main diagonal, the adversarial
+  case for axis-aligned BSPs.
+
+Asserted: Min-Skew remains the most accurate bucket technique on point
+and linear data; on the adversarial diagonal its lead may shrink but it
+must not lose to the skew-oblivious baselines.
+"""
+
+import pytest
+
+from repro.data import make_dataset
+from repro.eval import ExperimentRunner, build_estimator
+from repro.workload import range_queries
+
+from .conftest import banner, save_artifact
+
+TECHNIQUES = ("Min-Skew", "Equi-Area", "Equi-Count", "Grid", "Sample")
+DATASETS = ("sequoia", "nj_road", "diagonal")
+N = 30_000
+QSIZE = 0.05
+
+
+@pytest.fixture(scope="module")
+def results():
+    table = {}
+    for name in DATASETS:
+        data = make_dataset(name, N, seed=123)
+        runner = ExperimentRunner(data)
+        queries = range_queries(data, QSIZE, 1_000, seed=5)
+        for technique in TECHNIQUES:
+            est = build_estimator(
+                technique, data, 50, n_regions=2_500,
+                rtree_method="str", seed=5,
+            )
+            table[(name, technique)] = runner.evaluate(
+                est, queries
+            ).average_relative_error
+    return table
+
+
+def test_point_and_linear_data(results, benchmark):
+    lines = [banner(
+        f"Extension: point/linear/adversarial data "
+        f"(QSize={QSIZE:.0%}, 50 buckets, n={N})"
+    )]
+    header = f"{'dataset':10s} " + " ".join(
+        f"{t:>10s}" for t in TECHNIQUES
+    )
+    lines.append(header)
+    for name in DATASETS:
+        lines.append(
+            f"{name:10s} "
+            + " ".join(
+                f"{results[(name, t)]:>10.3f}" for t in TECHNIQUES
+            )
+        )
+    print(save_artifact("extension_datasets", "\n".join(lines)))
+
+    # Min-Skew wins on point (sequoia) and linear (nj_road) data
+    for name in ("sequoia", "nj_road"):
+        assert results[(name, "Min-Skew")] == min(
+            results[(name, t)] for t in TECHNIQUES
+        ), name
+    # and never loses to the skew-oblivious box techniques, even on
+    # the adversarial diagonal
+    assert results[("diagonal", "Min-Skew")] <= min(
+        results[("diagonal", t)] for t in ("Equi-Area", "Grid")
+    )
+
+    data = make_dataset("sequoia", N, seed=123)
+    benchmark.pedantic(
+        lambda: build_estimator("Min-Skew", data, 50, n_regions=2_500),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,74 @@
+"""Extension: how close is greedy Min-Skew to the optimal BSP?
+
+The paper justifies the greedy heuristic by the cost of optimal
+constructions (NP-hardness in general; O(N^2.5) dynamic programming for
+BSPs).  With the DP implemented at small scale (`repro.core.OptimalBSP`)
+we can measure the gap directly: on downsampled grids of the paper's two
+datasets, greedy Min-Skew's spatial skew stays within a small factor of
+the DP optimum while constructing orders of magnitude faster.
+"""
+
+import time
+
+import pytest
+
+from repro.core import MinSkewPartitioner, OptimalBSP, \
+    grouping_skew_on_grid
+
+from .conftest import banner, save_artifact
+
+GRID_SIDE = 12
+BUCKETS = (4, 8, 12)
+
+
+@pytest.mark.parametrize("dataset_fixture", ["nj_road", "charminar_data"])
+def test_greedy_vs_optimal(dataset_fixture, request, benchmark):
+    data = request.getfixturevalue(dataset_fixture)
+
+    lines = [banner(
+        f"Extension: greedy Min-Skew vs optimal BSP "
+        f"({dataset_fixture}, {GRID_SIDE}x{GRID_SIDE} grid)"
+    )]
+    lines.append(
+        f"{'buckets':>8s} {'greedy skew':>14s} {'optimal skew':>14s} "
+        f"{'ratio':>7s} {'greedy s':>9s} {'dp s':>7s}"
+    )
+
+    worst_ratio = 1.0
+    for beta in BUCKETS:
+        start = time.perf_counter()
+        result = MinSkewPartitioner(
+            beta,
+            n_regions=GRID_SIDE * GRID_SIDE,
+            split_policy="exact",
+        ).partition_full(data)
+        greedy_seconds = time.perf_counter() - start
+        greedy = grouping_skew_on_grid(result.grid, result.blocks)
+
+        start = time.perf_counter()
+        dp = OptimalBSP(result.grid, max_buckets=max(BUCKETS))
+        optimal = dp.optimal_skew(beta)
+        dp_seconds = time.perf_counter() - start
+
+        ratio = greedy / optimal if optimal > 0 else 1.0
+        worst_ratio = max(worst_ratio, ratio)
+        lines.append(
+            f"{beta:>8d} {greedy:>14.1f} {optimal:>14.1f} "
+            f"{ratio:>7.3f} {greedy_seconds:>9.3f} {dp_seconds:>7.3f}"
+        )
+
+        assert greedy >= optimal - 1e-6  # DP is a true lower bound
+
+    print(save_artifact(
+        f"extension_optimality_{dataset_fixture}", "\n".join(lines)
+    ))
+
+    # the greedy heuristic stays within a small constant of optimal
+    assert worst_ratio < 2.5, worst_ratio
+
+    benchmark.pedantic(
+        lambda: MinSkewPartitioner(
+            8, n_regions=GRID_SIDE * GRID_SIDE, split_policy="exact"
+        ).partition(data),
+        rounds=1, iterations=1,
+    )

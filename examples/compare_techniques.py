@@ -1,0 +1,63 @@
+"""Scenario: pick a statistics technique for a GIS workload.
+
+Runs every technique from the paper over a road-network dataset at equal
+space budgets (Section 5.4 accounting, including Sample's deliberate 2×
+allowance) and prints the accuracy/cost table a practitioner would use to
+choose: average relative error at three query sizes, construction time,
+and summary footprint.
+
+Run:  python examples/compare_techniques.py [n_rects]
+"""
+
+import sys
+
+from repro import ExperimentRunner, range_queries
+from repro.data import nj_road_like
+from repro.eval import ALL_TECHNIQUES, timed_build
+
+
+def main(n_rects: int = 40_000) -> None:
+    data = nj_road_like(n_rects)
+    runner = ExperimentRunner(data)
+    n_buckets = 100
+
+    workloads = {
+        qsize: range_queries(data, qsize, 1_000, seed=int(qsize * 100))
+        for qsize in (0.02, 0.10, 0.25)
+    }
+
+    print(
+        f"dataset: simulated NJ Road, {len(data)} segment MBRs; "
+        f"budget: {n_buckets} buckets"
+    )
+    header = (
+        f"{'technique':12s} {'err@2%':>8s} {'err@10%':>8s} "
+        f"{'err@25%':>8s} {'build':>8s} {'words':>7s}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    rows = []
+    for technique in ALL_TECHNIQUES:
+        built = timed_build(
+            technique, data, n_buckets, n_regions=10_000,
+            rtree_method="str", seed=9,
+        )
+        errors = [
+            runner.evaluate(built.estimator, w).average_relative_error
+            for w in workloads.values()
+        ]
+        rows.append((technique, errors, built))
+        print(
+            f"{technique:12s} "
+            + " ".join(f"{e:8.3f}" for e in errors)
+            + f" {built.build_seconds:7.2f}s"
+            + f" {built.estimator.size_words():7d}"
+        )
+
+    best = min(rows, key=lambda r: sum(r[1]))
+    print(f"\nlowest total error: {best[0]}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 40_000)

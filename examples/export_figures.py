@@ -1,0 +1,72 @@
+"""Export the paper's Figures 1–7 as SVG files.
+
+Writes `figures/fig1_dataset.svg` ... `fig7_minskew.svg` next to the
+repository root: the dataset itself, the 50×50 density surface, and the
+four 50-bucket partitionings, each shaded by bucket count so the
+density-following layouts are visible at a glance.
+
+Run:  python examples/export_figures.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import MinSkewPartitioner
+from repro.data import charminar
+from repro.grid import DensityGrid
+from repro.partitioners import (
+    EquiAreaPartitioner,
+    EquiCountPartitioner,
+    RTreePartitioner,
+)
+from repro.viz_svg import dataset_svg, density_svg, partition_svg
+
+
+def main(output_dir: str = "figures") -> None:
+    out = Path(output_dir)
+    out.mkdir(exist_ok=True)
+    data = charminar()
+    space = data.mbr()
+
+    figures = {
+        "fig1_dataset.svg": dataset_svg(
+            data, title="Figure 1: the Charminar dataset",
+            max_draw=12_000,
+        ),
+        "fig5_density.svg": density_svg(
+            DensityGrid.from_rects(data, 50, 50),
+            title="Figure 5: spatial densities (50x50 grid)",
+        ),
+    }
+    partitioners = {
+        "fig2_equi_area.svg": (
+            "Figure 2: Equi-Area (50 buckets)",
+            EquiAreaPartitioner(50),
+        ),
+        "fig3_equi_count.svg": (
+            "Figure 3: Equi-Count (50 buckets)",
+            EquiCountPartitioner(50),
+        ),
+        "fig4_rtree.svg": (
+            "Figure 4: R-Tree partitioning",
+            RTreePartitioner(50, method="insert"),
+        ),
+        "fig7_minskew.svg": (
+            "Figure 7: Min-Skew (50 buckets)",
+            MinSkewPartitioner(50, n_regions=2_500),
+        ),
+    }
+    for filename, (title, partitioner) in partitioners.items():
+        buckets = partitioner.partition(data)
+        figures[filename] = partition_svg(
+            buckets, space, title=title, shade_by_count=True
+        )
+
+    for filename, svg in figures.items():
+        path = out / filename
+        path.write_text(svg)
+        print(f"wrote {path} ({len(svg)} bytes)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "figures")

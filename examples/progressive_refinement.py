@@ -1,0 +1,67 @@
+"""Scenario: tuning Min-Skew's region count and rescuing large queries.
+
+Demonstrates the paper's Section 5.5.3/5.6 findings end to end on the
+Charminar dataset:
+
+1. sweep the region count — small queries keep improving, large queries
+   *degrade* once the grid gets too fine (the Figure 10(b) anomaly);
+2. apply progressive refinement at the finest grid and sweep the number
+   of refinement steps (Figure 11) — most of the loss is recovered.
+
+Run:  python examples/progressive_refinement.py
+"""
+
+from repro import BucketEstimator, ExperimentRunner, MinSkewPartitioner, \
+    range_queries
+from repro.core import refinement_schedule
+from repro.data import charminar
+
+N_BUCKETS = 50
+FINEST = 30_000
+
+
+def main() -> None:
+    data = charminar()
+    runner = ExperimentRunner(data)
+    small = range_queries(data, 0.05, 1_000, seed=1)
+    large = range_queries(data, 0.25, 1_000, seed=2)
+
+    print("1) region-count sweep (plain Min-Skew, 50 buckets)")
+    print(f"{'regions':>8s} {'err small (5%)':>15s} "
+          f"{'err large (25%)':>16s}")
+    for regions in (100, 400, 1_600, 6_400, FINEST):
+        est = BucketEstimator.build(
+            MinSkewPartitioner(N_BUCKETS, n_regions=regions), data
+        )
+        err_small = runner.evaluate(est, small).average_relative_error
+        err_large = runner.evaluate(est, large).average_relative_error
+        print(f"{regions:>8d} {err_small:>15.3f} {err_large:>16.3f}")
+
+    print(
+        "\n   -> small queries keep improving; large queries degrade\n"
+        "      once fine corner regions soak up the bucket budget.\n"
+    )
+
+    print(f"2) progressive refinement at {FINEST} regions "
+          f"(QSize=25%)")
+    print(f"{'refinements':>12s} {'schedule':>28s} {'error':>8s}")
+    for r in range(0, 7):
+        schedule = refinement_schedule(N_BUCKETS, FINEST, r)
+        stages = " -> ".join(str(s.n_regions) for s in schedule)
+        est = BucketEstimator.build(
+            MinSkewPartitioner(N_BUCKETS, n_regions=FINEST,
+                               refinements=r),
+            data,
+        )
+        err = runner.evaluate(est, large).average_relative_error
+        print(f"{r:>12d} {stages:>28s} {err:>8.3f}")
+
+    print(
+        "\n   -> starting coarse covers the whole space before the\n"
+        "      fine stages drill into the skewed corners; the paper\n"
+        "      found the best refinement count to vary from 2 to 6."
+    )
+
+
+if __name__ == "__main__":
+    main()

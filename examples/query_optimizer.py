@@ -1,0 +1,92 @@
+"""Scenario: a spatial query optimizer choosing access paths.
+
+This is the paper's motivating application (Section 1): "query optimizers
+use query result size estimates to determine the most efficient way to
+execute queries".  We simulate the classic choice between
+
+* an **index scan** — cheap for selective queries (cost grows with the
+  result size), and
+* a **sequential scan** — a flat cost, better once a query matches a
+  large fraction of the table,
+
+under a simple textbook cost model, and measure how often an optimizer
+makes the *right* choice when its selectivity estimates come from each
+technique.  Bad estimates flip plans: overestimates push cheap index
+scans into needless sequential scans, underestimates cause disastrous
+index scans over huge results.
+
+Run:  python examples/query_optimizer.py
+"""
+
+import numpy as np
+
+from repro import ExactEstimator, build_estimator, range_queries
+from repro.data import nj_road_like
+
+#: Simple cost model (arbitrary I/O units).
+SEQ_SCAN_COST_PER_TUPLE = 0.05   # one sequential pass over the table
+INDEX_COST_PER_RESULT = 1.0      # random I/O per fetched result
+INDEX_DESCENT_COST = 10.0
+
+
+def plan_cost(n_table: int, result_size: float, plan: str) -> float:
+    """Cost of executing a query with the given access path."""
+    if plan == "seq":
+        return SEQ_SCAN_COST_PER_TUPLE * n_table
+    return INDEX_DESCENT_COST + INDEX_COST_PER_RESULT * result_size
+
+
+def choose_plan(n_table: int, estimated_result: float) -> str:
+    """The optimizer's decision given an estimated result size."""
+    seq = plan_cost(n_table, estimated_result, "seq")
+    index = plan_cost(n_table, estimated_result, "index")
+    return "seq" if seq <= index else "index"
+
+
+def main() -> None:
+    data = nj_road_like(60_000)
+    n = len(data)
+    exact = ExactEstimator(data)
+
+    # a mixed workload: mostly small queries, some large
+    rng = np.random.default_rng(7)
+    queries_small = range_queries(data, 0.03, 600, seed=1)
+    queries_large = range_queries(data, 0.30, 400, seed=2)
+    queries = queries_small.concat(queries_large)
+    truth = exact.estimate_many(queries)
+
+    print(f"table: {n} rectangles; workload: {len(queries)} queries")
+    print(f"{'technique':12s} {'right plan':>10s} {'excess cost':>12s}")
+    for technique in ("Min-Skew", "Equi-Area", "Sample", "Uniform"):
+        estimator = build_estimator(technique, data, 100,
+                                    n_regions=10_000, seed=3)
+        estimates = estimator.estimate_many(queries)
+
+        correct = 0
+        excess = 0.0
+        for true_size, est_size in zip(truth, estimates):
+            chosen = choose_plan(n, est_size)
+            optimal = choose_plan(n, true_size)
+            # costs are always paid on the TRUE result size
+            chosen_cost = plan_cost(n, true_size, chosen)
+            optimal_cost = plan_cost(n, true_size, optimal)
+            if chosen == optimal:
+                correct += 1
+            excess += chosen_cost - optimal_cost
+
+        print(
+            f"{technique:12s} {correct / len(queries):>9.1%} "
+            f"{excess:>11.0f}"
+        )
+        _ = rng  # deterministic run; rng reserved for extensions
+
+    print(
+        "\nA technique's estimation error translates directly into "
+        "plan flips\nand wasted I/O; Min-Skew's accuracy is what makes "
+        "it 'the ideal\ntechnique to use for spatial selectivity "
+        "estimation' (Section 5.5.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

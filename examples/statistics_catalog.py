@@ -1,0 +1,85 @@
+"""Scenario: the statistics lifecycle of a spatial database.
+
+Shows how the pieces fit into a production stats pipeline:
+
+1. ANALYZE — build Min-Skew summaries for several spatial attributes
+   and store them in an on-disk :class:`~repro.catalog.StatisticsCatalog`
+   (8 × 4 bytes per bucket, the paper's Section 5.4 budget);
+2. PLAN — reload a summary and answer optimizer selectivity probes;
+3. DRIFT — apply inserts through a
+   :class:`~repro.core.MaintainedHistogram`, watch the drift counters,
+   and re-ANALYZE when the summary goes stale.
+
+Run:  python examples/statistics_catalog.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import BucketEstimator, MinSkewPartitioner, Rect
+from repro.catalog import StatisticsCatalog
+from repro.core import MaintainedHistogram
+from repro.data import charminar, nj_road_like, sequoia_like
+
+
+def main() -> None:
+    tables = {
+        "roads.geom": nj_road_like(30_000),
+        "landmarks.geom": sequoia_like(20_000),
+        "parcels.geom": charminar(20_000),
+    }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        catalog = StatisticsCatalog(Path(tmp) / "pg_statistic")
+
+        # 1. ANALYZE: build and persist summaries
+        print("ANALYZE:")
+        for name, data in tables.items():
+            est = BucketEstimator.build(
+                MinSkewPartitioner(100, n_regions=10_000), data
+            )
+            nbytes = catalog.store(name, est)
+            print(f"  {name:16s} {len(data):6d} rects -> "
+                  f"{est.n_buckets} buckets, {nbytes} bytes on disk")
+
+        # 2. PLAN: the optimizer probes a reloaded summary
+        print("\nPLAN (selectivity probes against roads.geom):")
+        roads = catalog.load("roads.geom")
+        n_roads = len(tables["roads.geom"])
+        mbr = tables["roads.geom"].mbr()
+        for frac in (0.05, 0.2, 0.5):
+            w = frac * mbr.width
+            h = frac * mbr.height
+            probe = Rect.from_center(*mbr.center, w, h)
+            sel = roads.selectivity(probe, n_roads)
+            print(f"  window {frac:4.0%} of space -> "
+                  f"selectivity {sel:7.4f}")
+
+        # 3. DRIFT: inserts accumulate, the summary goes stale
+        print("\nDRIFT (new subdivision built in the north-east):")
+        hist = MaintainedHistogram(
+            MinSkewPartitioner(100, n_regions=10_000),
+            tables["roads.geom"],
+            drift_threshold=0.05,
+        )
+        gen = np.random.default_rng(5)
+        batch = 0
+        while not hist.needs_refresh:
+            for _ in range(500):
+                cx = gen.uniform(0.8 * mbr.x2, mbr.x2)
+                cy = gen.uniform(0.8 * mbr.y2, mbr.y2)
+                hist.insert(Rect.from_center(cx, cy, 8.0, 8.0))
+            batch += 1
+            print(f"  batch {batch}: {hist.modifications_since_refresh}"
+                  f" modifications, needs_refresh={hist.needs_refresh}")
+        hist.refresh()
+        refreshed = BucketEstimator(hist.buckets, name="roads.geom")
+        catalog.store("roads.geom", refreshed)
+        print(f"  re-ANALYZE done: {len(hist)} rects, summary updated "
+              f"({catalog.sizes_bytes()['roads.geom']} bytes)")
+
+
+if __name__ == "__main__":
+    main()

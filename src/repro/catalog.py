@@ -1,0 +1,198 @@
+"""Statistics catalog: persist and reload compact data summaries.
+
+Database systems keep optimizer statistics in a catalog ("a few hundred
+bytes per relation", Section 1).  This module gives the reproduction
+that last production piece:
+
+* :func:`pack_buckets` / :func:`unpack_buckets` — the paper's exact
+  binary layout: eight 32-bit words per bucket (bounding box, average
+  density, count, average width, average height), so a 100-bucket
+  Min-Skew summary costs 3 200 bytes on disk, matching the Section 5.4
+  space accounting;
+* JSON export for humans and other tools;
+* :class:`StatisticsCatalog` — a tiny on-disk catalog mapping attribute
+  names to summaries, the shape of ``pg_statistic`` for this library.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from .core.bucket import Bucket
+from .estimators import BucketEstimator
+from .geometry import Rect
+
+PathLike = Union[str, Path]
+
+#: struct layout of one bucket: x1 y1 x2 y2 density count avg_w avg_h
+_BUCKET_FORMAT = "<ffffffff"
+_BUCKET_BYTES = struct.calcsize(_BUCKET_FORMAT)
+_MAGIC = b"RSH1"  # Repro Spatial Histogram, version 1
+
+
+def pack_buckets(buckets: List[Bucket]) -> bytes:
+    """Serialise buckets to the paper's 8-words-per-bucket layout.
+
+    Counts are stored as float32 like every other word (the paper's
+    accounting treats all eight the same); counts up to 2^24 round-trip
+    exactly.
+    """
+    parts = [_MAGIC, struct.pack("<I", len(buckets))]
+    for b in buckets:
+        parts.append(
+            struct.pack(
+                _BUCKET_FORMAT,
+                b.bbox.x1, b.bbox.y1, b.bbox.x2, b.bbox.y2,
+                b.avg_density, float(b.count), b.avg_width, b.avg_height,
+            )
+        )
+    return b"".join(parts)
+
+
+def unpack_buckets(blob: bytes) -> List[Bucket]:
+    """Inverse of :func:`pack_buckets`."""
+    if len(blob) < len(_MAGIC) + 4:
+        raise ValueError("truncated summary blob")
+    if blob[: len(_MAGIC)] != _MAGIC:
+        raise ValueError(
+            f"bad magic {blob[:len(_MAGIC)]!r}; not a packed summary"
+        )
+    (count,) = struct.unpack_from("<I", blob, len(_MAGIC))
+    expected = len(_MAGIC) + 4 + count * _BUCKET_BYTES
+    if len(blob) != expected:
+        raise ValueError(
+            f"summary blob has {len(blob)} bytes; expected {expected}"
+        )
+    buckets = []
+    offset = len(_MAGIC) + 4
+    for _ in range(count):
+        x1, y1, x2, y2, density, n, avg_w, avg_h = struct.unpack_from(
+            _BUCKET_FORMAT, blob, offset
+        )
+        offset += _BUCKET_BYTES
+        buckets.append(
+            Bucket(
+                Rect(x1, y1, x2, y2),
+                int(round(n)),
+                avg_width=avg_w,
+                avg_height=avg_h,
+                avg_density=density,
+            )
+        )
+    return buckets
+
+
+def buckets_to_json(buckets: List[Bucket]) -> str:
+    """Human-readable JSON export of a bucket summary."""
+    return json.dumps(
+        [
+            {
+                "bbox": list(b.bbox.as_tuple()),
+                "count": b.count,
+                "avg_width": b.avg_width,
+                "avg_height": b.avg_height,
+                "avg_density": b.avg_density,
+            }
+            for b in buckets
+        ],
+        indent=2,
+    )
+
+
+def buckets_from_json(text: str) -> List[Bucket]:
+    """Inverse of :func:`buckets_to_json`."""
+    records = json.loads(text)
+    if not isinstance(records, list):
+        raise ValueError("expected a JSON array of bucket records")
+    buckets = []
+    for i, record in enumerate(records):
+        try:
+            bbox = record["bbox"]
+            buckets.append(
+                Bucket(
+                    Rect(*[float(v) for v in bbox]),
+                    int(record["count"]),
+                    avg_width=float(record.get("avg_width", 0.0)),
+                    avg_height=float(record.get("avg_height", 0.0)),
+                    avg_density=float(record.get("avg_density", 0.0)),
+                )
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"bad bucket record at index {i}") from exc
+    return buckets
+
+
+class StatisticsCatalog:
+    """A directory of named summaries, one ``.rsh`` file per attribute.
+
+    >>> catalog = StatisticsCatalog(tmp_path)
+    >>> catalog.store("roads.geom", estimator)
+    >>> est = catalog.load("roads.geom")
+    """
+
+    SUFFIX = ".rsh"
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str) -> Path:
+        if not name or "/" in name or "\\" in name:
+            raise ValueError(f"invalid summary name {name!r}")
+        return self.directory / f"{name}{self.SUFFIX}"
+
+    def store(self, name: str, estimator: BucketEstimator) -> int:
+        """Persist a bucket estimator; returns the bytes written."""
+        blob = pack_buckets(estimator.buckets)
+        self._path(name).write_bytes(blob)
+        return len(blob)
+
+    def load(self, name: str) -> BucketEstimator:
+        """Reload a summary as a ready-to-use estimator."""
+        path = self._path(name)
+        if not path.exists():
+            raise KeyError(f"no summary named {name!r} in {self.directory}")
+        return BucketEstimator(unpack_buckets(path.read_bytes()),
+                               name=name)
+
+    def names(self) -> List[str]:
+        """Sorted names of all stored summaries."""
+        return sorted(
+            p.stem for p in self.directory.glob(f"*{self.SUFFIX}")
+        )
+
+    def sizes_bytes(self) -> Dict[str, int]:
+        """On-disk footprint per summary — the catalog budget view."""
+        return {
+            p.stem: p.stat().st_size
+            for p in self.directory.glob(f"*{self.SUFFIX}")
+        }
+
+    def drop(self, name: str) -> None:
+        """Delete a stored summary."""
+        path = self._path(name)
+        if not path.exists():
+            raise KeyError(f"no summary named {name!r}")
+        path.unlink()
+
+
+def quantization_error(buckets: List[Bucket]) -> float:
+    """Worst relative float32 rounding error across all stored words.
+
+    The 8×float32 layout rounds values; callers that need a guarantee
+    can check the summary's quantisation loss before storing it.
+    """
+    worst = 0.0
+    for b in buckets:
+        for value in (*b.bbox.as_tuple(), b.avg_density, float(b.count),
+                      b.avg_width, b.avg_height):
+            if value == 0.0:
+                continue
+            rounded = float(np.float32(value))
+            worst = max(worst, abs(rounded - value) / abs(value))
+    return worst

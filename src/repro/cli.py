@@ -1,0 +1,281 @@
+"""Command-line interface.
+
+``repro-spatial`` (or ``python -m repro``) exposes the library's main
+flows: inspecting datasets, building and rendering partitionings,
+evaluating techniques, and regenerating the paper's figures and tables::
+
+    repro-spatial datasets
+    repro-spatial show --dataset charminar
+    repro-spatial partition --dataset charminar --technique Min-Skew \
+        --buckets 50
+    repro-spatial evaluate --dataset nj_road --n 40000 --qsize 0.05
+    repro-spatial fig8 --dataset nj_road --n 40000
+    repro-spatial table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .data import dataset_names, make_dataset
+from .eval import ALL_TECHNIQUES, ExperimentRunner, experiments, report, \
+    timed_build
+from .grid import DensityGrid
+from .viz import render_dataset, render_partition
+from .workload import range_queries
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", default="charminar", choices=dataset_names(),
+        help="input dataset (default: charminar)",
+    )
+    parser.add_argument(
+        "--n", type=int, default=None,
+        help="dataset size (default: paper scale for the dataset)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="dataset RNG seed (default: the dataset's fixed seed)",
+    )
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    for name in dataset_names():
+        print(name)
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    data = make_dataset(args.dataset, args.n, args.seed)
+    print(f"# {args.dataset}: {len(data)} rectangles, MBR {data.mbr()}")
+    print(render_dataset(data))
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    data = make_dataset(args.dataset, args.n, args.seed)
+    built = timed_build(
+        args.technique, data, args.buckets, n_regions=args.regions
+    )
+    estimator = built.estimator
+    print(
+        f"# {args.technique} on {args.dataset}: "
+        f"{args.buckets} buckets, built in {built.build_seconds:.2f}s"
+    )
+    buckets = getattr(estimator, "buckets", None)
+    if buckets is None:
+        print("(technique has no bucket layout to draw)")
+        return 0
+    print(render_partition(buckets, data.mbr()))
+    grid = DensityGrid.from_rects(data, 64, 64)
+    from .core import grouping_skew_on_boxes
+
+    skew = grouping_skew_on_boxes(grid, [b.bbox for b in buckets])
+    print(f"# spatial skew on a 64x64 grid: {skew:.1f}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    data = make_dataset(args.dataset, args.n, args.seed)
+    runner = ExperimentRunner(data)
+    queries = range_queries(data, args.qsize, args.queries, seed=42)
+    print(
+        f"# {args.dataset} n={len(data)} qsize={args.qsize} "
+        f"queries={args.queries} buckets={args.buckets}"
+    )
+    techniques = [args.technique] if args.technique else ALL_TECHNIQUES
+    for technique in techniques:
+        errors, build_s = runner.evaluate_technique(
+            technique, queries, args.buckets, n_regions=args.regions
+        )
+        print(
+            f"{technique:11s} ARE={errors.average_relative_error:7.3f} "
+            f"build={build_s:7.2f}s"
+        )
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    data = make_dataset(args.dataset, args.n, args.seed)
+    records = experiments.error_vs_qsize(
+        data, n_buckets=args.buckets, n_queries=args.queries,
+        rtree_method=args.rtree_method,
+    )
+    print(report.format_series(
+        records, x_key="qsize",
+        title=f"Figure 8: error vs QSize ({args.dataset}, "
+              f"{args.buckets} buckets)",
+    ))
+    return 0
+
+
+def _cmd_fig9(args: argparse.Namespace) -> int:
+    data = make_dataset(args.dataset, args.n, args.seed)
+    records = experiments.error_vs_buckets(
+        data, n_queries=args.queries, rtree_method=args.rtree_method,
+    )
+    for qsize in (0.05, 0.25):
+        subset = [r for r in records if r["qsize"] == qsize]
+        print(report.format_series(
+            subset, x_key="n_buckets",
+            title=f"Figure 9: error vs buckets "
+                  f"({args.dataset}, QSize={qsize:.0%})",
+        ))
+        print()
+    return 0
+
+
+def _cmd_fig10(args: argparse.Namespace) -> int:
+    data = make_dataset(args.dataset, args.n, args.seed)
+    records = experiments.error_vs_regions(
+        data, n_queries=args.queries, n_buckets=args.buckets,
+    )
+    print(report.format_series(
+        records, series_key="qsize", x_key="n_regions",
+        title=f"Figure 10: Min-Skew error vs regions ({args.dataset})",
+    ))
+    return 0
+
+
+def _cmd_fig11(args: argparse.Namespace) -> int:
+    data = make_dataset(args.dataset, args.n, args.seed)
+    records = experiments.progressive_refinement(
+        data, n_queries=args.queries, n_buckets=args.buckets,
+        n_regions=args.regions,
+    )
+    print(report.format_table(
+        records,
+        ["refinements", "error", "build_seconds"],
+    ))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .core import tune_min_skew
+
+    data = make_dataset(args.dataset, args.n, args.seed)
+    result = tune_min_skew(
+        data, args.buckets, n_queries=args.queries, truth=args.truth
+    )
+    print(f"# tuned Min-Skew for {args.dataset} "
+          f"(buckets={args.buckets}, truth={args.truth})")
+    print(f"{'regions':>8s} {'refinements':>12s} {'error':>8s} "
+          f"{'build':>7s}")
+    for c in result.candidates:
+        marker = " <-- chosen" if (
+            c.n_regions == result.n_regions
+            and c.refinements == result.refinements
+        ) else ""
+        print(f"{c.n_regions:>8d} {c.refinements:>12d} "
+              f"{c.error:>8.3f} {c.build_seconds:>6.2f}s{marker}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    datasets = {
+        f"{args.small // 1000}K": make_dataset(
+            args.dataset, args.small, args.seed
+        ),
+        f"{args.large // 1000}K": make_dataset(
+            args.dataset, args.large, args.seed
+        ),
+    }
+    records = experiments.construction_times(
+        datasets, rtree_method=args.rtree_method
+    )
+    print(report.format_table(
+        records,
+        ["technique", "dataset", "n_buckets", "build_seconds"],
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-spatial",
+        description="Min-Skew spatial selectivity estimation "
+                    "(SIGMOD 1999 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list available datasets") \
+        .set_defaults(func=_cmd_datasets)
+
+    p = sub.add_parser("show", help="render a dataset as ASCII density")
+    _add_dataset_args(p)
+    p.set_defaults(func=_cmd_show)
+
+    p = sub.add_parser("partition", help="build and draw a partitioning")
+    _add_dataset_args(p)
+    p.add_argument("--technique", default="Min-Skew",
+                   choices=list(ALL_TECHNIQUES))
+    p.add_argument("--buckets", type=int, default=50)
+    p.add_argument("--regions", type=int, default=10_000)
+    p.set_defaults(func=_cmd_partition)
+
+    p = sub.add_parser("evaluate", help="estimate a workload, print ARE")
+    _add_dataset_args(p)
+    p.add_argument("--technique", default=None,
+                   choices=list(ALL_TECHNIQUES))
+    p.add_argument("--buckets", type=int, default=100)
+    p.add_argument("--regions", type=int, default=10_000)
+    p.add_argument("--qsize", type=float, default=0.05)
+    p.add_argument("--queries", type=int, default=2_000)
+    p.set_defaults(func=_cmd_evaluate)
+
+    for name, func, extra in (
+        ("fig8", _cmd_fig8, {"buckets": 100}),
+        ("fig9", _cmd_fig9, {}),
+        ("fig10", _cmd_fig10, {"buckets": 100}),
+        ("fig11", _cmd_fig11, {"buckets": 100, "regions": 30_000}),
+    ):
+        p = sub.add_parser(name, help=f"reproduce paper {name}")
+        _add_dataset_args(p)
+        p.add_argument("--queries", type=int, default=2_000)
+        p.add_argument("--rtree-method", default="insert",
+                       choices=("insert", "str"))
+        if "buckets" in extra:
+            p.add_argument("--buckets", type=int,
+                           default=extra["buckets"])
+        if "regions" in extra:
+            p.add_argument("--regions", type=int,
+                           default=extra["regions"])
+        p.set_defaults(func=func)
+
+    p = sub.add_parser(
+        "tune",
+        help="auto-select Min-Skew regions/refinements "
+             "(the paper's open problem)",
+    )
+    _add_dataset_args(p)
+    p.add_argument("--buckets", type=int, default=100)
+    p.add_argument("--queries", type=int, default=400)
+    p.add_argument("--truth", default="exact",
+                   choices=("exact", "sample"))
+    p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser("table1", help="reproduce paper Table 1")
+    p.add_argument("--dataset", default="nj_road",
+                   choices=dataset_names())
+    p.add_argument("--small", type=int, default=50_000)
+    p.add_argument("--large", type=int, default=400_000)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--rtree-method", default="insert",
+                   choices=("insert", "str"))
+    p.set_defaults(func=_cmd_table1)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""The paper's primary contribution: spatial skew, the bucket model with
+its uniformity-assumption formulas, the Min-Skew BSP partitioner, and
+progressive refinement."""
+
+from .bucket import (
+    Bucket,
+    assign_by_center,
+    buckets_from_assignment,
+    estimate_many,
+)
+from .maintenance import MaintainedHistogram
+from .minskew import MinSkewPartitioner, MinSkewResult, SplitRecord
+from .optimal import OptimalBSP
+from .progressive import (
+    RefinementStage,
+    progressive_min_skew,
+    refinement_schedule,
+)
+from .tuning import TuningCandidate, TuningResult, tune_min_skew
+from .skew import (
+    bucket_skew,
+    grouping_skew,
+    grouping_skew_on_boxes,
+    grouping_skew_on_grid,
+    variance,
+)
+
+__all__ = [
+    "Bucket",
+    "OptimalBSP",
+    "MaintainedHistogram",
+    "tune_min_skew",
+    "TuningResult",
+    "TuningCandidate",
+    "estimate_many",
+    "assign_by_center",
+    "buckets_from_assignment",
+    "MinSkewPartitioner",
+    "MinSkewResult",
+    "SplitRecord",
+    "progressive_min_skew",
+    "refinement_schedule",
+    "RefinementStage",
+    "variance",
+    "bucket_skew",
+    "grouping_skew",
+    "grouping_skew_on_grid",
+    "grouping_skew_on_boxes",
+]

@@ -1,0 +1,14 @@
+"""Exact intersection-counting oracles: brute force, Fenwick-based
+inclusion–exclusion, and the structures beneath them."""
+
+from .bruteforce import brute_force_counts
+from .dominance import dominance_count
+from .fenwick import FenwickTree
+from .oracle import ExactCountOracle
+
+__all__ = [
+    "FenwickTree",
+    "brute_force_counts",
+    "dominance_count",
+    "ExactCountOracle",
+]

@@ -1,0 +1,48 @@
+"""Dataset generators and persistence: the paper's synthetic families
+(Charminar, Zipf size/placement skew) and simulated stand-ins for the
+TIGER NJ-Road and Sequoia real-life sets (see DESIGN.md §5)."""
+
+from .charminar import CHARMINAR_N, CHARMINAR_SIDE, CHARMINAR_SPACE, charminar
+from .io import load_csv, load_npy, save_csv, save_npy
+from .registry import (
+    dataset_names,
+    default_size,
+    make_dataset,
+    register,
+)
+from .sequoia import SEQUOIA_SPACE, sequoia_like
+from .synthetic import (
+    clustered_rects,
+    diagonal_rects,
+    skewed_rects,
+    uniform_rects,
+    zipf_positions_2d,
+    zipf_values,
+)
+from .tiger import NJ_ROAD_N, NJ_SPACE, nj_road_like
+
+__all__ = [
+    "charminar",
+    "CHARMINAR_N",
+    "CHARMINAR_SIDE",
+    "CHARMINAR_SPACE",
+    "nj_road_like",
+    "NJ_ROAD_N",
+    "NJ_SPACE",
+    "sequoia_like",
+    "SEQUOIA_SPACE",
+    "uniform_rects",
+    "skewed_rects",
+    "clustered_rects",
+    "diagonal_rects",
+    "zipf_values",
+    "zipf_positions_2d",
+    "make_dataset",
+    "dataset_names",
+    "default_size",
+    "register",
+    "save_npy",
+    "load_npy",
+    "save_csv",
+    "load_csv",
+]

@@ -1,0 +1,68 @@
+"""Dataset persistence: save/load :class:`RectSet` to npy and CSV.
+
+Experiments that sweep many configurations over the same dataset save the
+generated rectangles once and reload them, so all techniques see exactly
+the same input (and so full-scale datasets need not be regenerated per
+run).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..geometry import RectSet
+
+PathLike = Union[str, Path]
+
+_CSV_HEADER = ["x1", "y1", "x2", "y2"]
+
+
+def save_npy(rects: RectSet, path: PathLike) -> None:
+    """Save to a ``.npy`` file holding the ``(N, 4)`` coordinate array."""
+    np.save(Path(path), rects.coords)
+
+
+def load_npy(path: PathLike) -> RectSet:
+    """Load a :class:`RectSet` saved with :func:`save_npy`."""
+    arr = np.load(Path(path))
+    return RectSet(arr, copy=False, validate=True)
+
+
+def save_csv(rects: RectSet, path: PathLike) -> None:
+    """Save to CSV with an ``x1,y1,x2,y2`` header row."""
+    with open(Path(path), "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(_CSV_HEADER)
+        writer.writerows(rects.coords.tolist())
+
+
+def load_csv(path: PathLike) -> RectSet:
+    """Load a :class:`RectSet` from CSV written by :func:`save_csv`.
+
+    Also accepts header-less files whose rows are four floats per line.
+    """
+    path = Path(path)
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        rows = []
+        for i, row in enumerate(reader):
+            if not row:
+                continue
+            if i == 0 and row == _CSV_HEADER:
+                continue
+            if len(row) != 4:
+                raise ValueError(
+                    f"{path}:{i + 1}: expected 4 columns, got {len(row)}"
+                )
+            try:
+                rows.append([float(v) for v in row])
+            except ValueError as exc:
+                raise ValueError(f"{path}:{i + 1}: non-numeric value") \
+                    from exc
+    if not rows:
+        return RectSet.empty()
+    return RectSet(np.asarray(rows), copy=False, validate=True)

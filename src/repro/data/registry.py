@@ -1,0 +1,99 @@
+"""Named dataset registry.
+
+Benchmarks, examples, and the CLI refer to datasets by the names used in
+the paper ("charminar", "nj_road", ...).  The registry maps each name to
+its generator so every consumer builds exactly the same distribution for
+a given (name, n, seed) triple.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..geometry import RectSet
+from .charminar import CHARMINAR_N, charminar
+from .sequoia import sequoia_like
+from .synthetic import (
+    clustered_rects,
+    diagonal_rects,
+    skewed_rects,
+    uniform_rects,
+)
+from .tiger import NJ_ROAD_N, nj_road_like
+
+#: Generator signature: (n, seed) -> RectSet.
+DatasetFactory = Callable[[int, Optional[int]], RectSet]
+
+_REGISTRY: Dict[str, DatasetFactory] = {}
+_DEFAULT_SIZES: Dict[str, int] = {}
+
+
+def register(
+    name: str, factory: DatasetFactory, default_n: int
+) -> None:
+    """Register a dataset generator under ``name``."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"dataset {name!r} is already registered")
+    _REGISTRY[key] = factory
+    _DEFAULT_SIZES[key] = default_n
+
+
+def dataset_names() -> List[str]:
+    """All registered dataset names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def default_size(name: str) -> int:
+    """The paper-scale default size of a registered dataset."""
+    key = name.lower()
+    if key not in _DEFAULT_SIZES:
+        raise KeyError(
+            f"unknown dataset {name!r}; known: {dataset_names()}"
+        )
+    return _DEFAULT_SIZES[key]
+
+
+def make_dataset(
+    name: str, n: Optional[int] = None, seed: Optional[int] = None
+) -> RectSet:
+    """Build a registered dataset.
+
+    Parameters
+    ----------
+    name:
+        Registered dataset name (case-insensitive); see
+        :func:`dataset_names`.
+    n:
+        Number of rectangles; defaults to the dataset's paper-scale size.
+    seed:
+        RNG seed; ``None`` uses each generator's fixed default so
+        repeated calls agree across processes.
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown dataset {name!r}; known: {dataset_names()}"
+        )
+    if n is None:
+        n = _DEFAULT_SIZES[key]
+    return _REGISTRY[key](n, seed)
+
+
+# ----------------------------------------------------------------------
+# built-in datasets
+# ----------------------------------------------------------------------
+def _with_default_seed(factory, default_seed):
+    def build(n: int, seed: Optional[int]) -> RectSet:
+        return factory(n, seed=default_seed if seed is None else seed)
+
+    return build
+
+
+register("charminar", _with_default_seed(charminar, 1999), CHARMINAR_N)
+register("nj_road", _with_default_seed(nj_road_like, 1992), NJ_ROAD_N)
+register("sequoia", _with_default_seed(sequoia_like, 1993), 62_000)
+register("uniform", _with_default_seed(uniform_rects, 7), 40_000)
+register("skewed", _with_default_seed(skewed_rects, 7), 40_000)
+register("clustered", _with_default_seed(clustered_rects, 7), 40_000)
+register("diagonal", _with_default_seed(diagonal_rects, 7), 40_000)

@@ -1,0 +1,85 @@
+"""Simulated Sequoia 2000 landmark data.
+
+The paper cites the Sequoia benchmark dataset as its second real-life set
+("results using the other data sets are available in the full paper").
+Sequoia's point data are geographic landmarks over California: heavily
+coastal/urban-clustered with long sparse inland stretches.  This
+generator produces point-like landmark MBRs with that character so the
+full experiment matrix can be run on a second "real-life-like" input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import Rect, RectSet
+from .synthetic import SeedLike, _as_rng
+
+#: Default simulation space (tall strip, like California's bounding box).
+SEQUOIA_SPACE = Rect(0.0, 0.0, 6_000.0, 10_000.0)
+
+
+def sequoia_like(
+    n: int = 62_000,
+    *,
+    bounds: Rect = SEQUOIA_SPACE,
+    coastal_frac: float = 0.6,
+    n_inland_clusters: int = 14,
+    point_extent: float = 2.0,
+    seed: SeedLike = 1993,
+) -> RectSet:
+    """Landmark-style point MBRs: a dense coastal band plus inland clusters.
+
+    Parameters
+    ----------
+    n:
+        Number of landmarks (the real set has ~62 000 points).
+    coastal_frac:
+        Fraction of landmarks on the "coast" — a curved dense band along
+        the left edge of the space.
+    n_inland_clusters:
+        Number of inland population clusters for the remainder.
+    point_extent:
+        Landmarks are tiny squares of this side (0 gives true points).
+    """
+    if not 0.0 <= coastal_frac <= 1.0:
+        raise ValueError("coastal_frac must be in [0, 1]")
+    gen = _as_rng(seed)
+
+    n_coast = int(round(n * coastal_frac))
+    n_inland = n - n_coast
+
+    # coastal band: x follows a curve x(y) with small spread
+    y = gen.uniform(bounds.y1, bounds.y2, n_coast)
+    t = (y - bounds.y1) / bounds.height
+    curve = bounds.x1 + bounds.width * (0.12 + 0.10 * np.sin(2.3 * np.pi * t))
+    x = curve + np.abs(gen.normal(0.0, 0.05 * bounds.width, n_coast))
+
+    # inland clusters with Zipf weights
+    centers = np.column_stack(
+        (
+            gen.uniform(
+                bounds.x1 + 0.25 * bounds.width, bounds.x2, n_inland_clusters
+            ),
+            gen.uniform(bounds.y1, bounds.y2, n_inland_clusters),
+        )
+    )
+    weights = np.arange(1, n_inland_clusters + 1, dtype=np.float64) ** -1.1
+    weights /= weights.sum()
+    pick = gen.choice(n_inland_clusters, size=n_inland, p=weights)
+    spread = 0.04 * bounds.width
+    inland = centers[pick] + gen.normal(0.0, spread, (n_inland, 2))
+
+    cx = np.concatenate((x, inland[:, 0]))
+    cy = np.concatenate((y, inland[:, 1]))
+    half = point_extent / 2.0
+    np.clip(cx, bounds.x1 + half, bounds.x2 - half, out=cx)
+    np.clip(cy, bounds.y1 + half, bounds.y2 - half, out=cy)
+
+    order = gen.permutation(n)
+    return RectSet.from_centers(
+        cx[order],
+        cy[order],
+        np.full(n, point_extent),
+        np.full(n, point_extent),
+    )

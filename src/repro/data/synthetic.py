@@ -1,0 +1,244 @@
+"""Synthetic rectangle distributions (paper Section 5.1.2).
+
+The paper "systematically generated several synthetic datasets varying in
+size, sparsity, placement skew, and size skew.  Sparsity was controlled by
+adjusting the dataset size relative to the total input area.  Size skew
+was modeled by generating widths and heights from the Zipf Distribution.
+Placement skew was modeled using two-dimensional Zipf distributions."
+
+This module provides those generator families.  Every generator is
+deterministic given a seed (or an explicit ``numpy.random.Generator``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..geometry import Rect, RectSet
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def _as_rng(seed: SeedLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+# ----------------------------------------------------------------------
+# Zipf building blocks
+# ----------------------------------------------------------------------
+def zipf_values(
+    n: int,
+    z: float,
+    vmin: float,
+    vmax: float,
+    rng: SeedLike = None,
+    *,
+    n_ranks: int = 1000,
+) -> np.ndarray:
+    """Draw ``n`` values in ``[vmin, vmax]`` with Zipfian frequencies.
+
+    The value range is discretised into ``n_ranks`` levels; level ``k``
+    (1-based) is drawn with probability proportional to ``1 / k**z``, so
+    small values are common and large values are rare — the standard way
+    histogram papers model *size skew*.  ``z = 0`` degenerates to the
+    uniform distribution over the levels.
+
+    Parameters
+    ----------
+    n:
+        Number of samples.
+    z:
+        Zipf skew parameter (>= 0).
+    vmin, vmax:
+        Value range (``vmin <= vmax``).
+    rng:
+        Seed or generator.
+    n_ranks:
+        Number of discrete levels spanning the range.
+    """
+    if z < 0:
+        raise ValueError("zipf parameter z must be non-negative")
+    if vmin > vmax:
+        raise ValueError("vmin must not exceed vmax")
+    gen = _as_rng(rng)
+    ranks = np.arange(1, n_ranks + 1, dtype=np.float64)
+    probs = ranks ** (-z)
+    probs /= probs.sum()
+    chosen = gen.choice(n_ranks, size=n, p=probs)
+    levels = np.linspace(vmin, vmax, n_ranks)
+    return levels[chosen]
+
+
+def zipf_positions_2d(
+    n: int,
+    z: float,
+    bounds: Rect,
+    rng: SeedLike = None,
+    *,
+    n_cells: int = 100,
+) -> np.ndarray:
+    """Draw ``n`` points with two-dimensional Zipfian placement skew.
+
+    Each axis is divided into ``n_cells`` strips; strip ``k`` has
+    probability proportional to ``1 / k**z`` and points are uniform
+    within their strip, independently per axis.  High ``z`` concentrates
+    points towards the lower-left corner of ``bounds``; ``z = 0`` is the
+    uniform distribution.
+
+    Returns an ``(n, 2)`` array.
+    """
+    if z < 0:
+        raise ValueError("zipf parameter z must be non-negative")
+    gen = _as_rng(rng)
+    ranks = np.arange(1, n_cells + 1, dtype=np.float64)
+    probs = ranks ** (-z)
+    probs /= probs.sum()
+
+    def axis_sample(lo: float, hi: float) -> np.ndarray:
+        cell = gen.choice(n_cells, size=n, p=probs)
+        width = (hi - lo) / n_cells
+        return lo + (cell + gen.uniform(0.0, 1.0, size=n)) * width
+
+    x = axis_sample(bounds.x1, bounds.x2)
+    y = axis_sample(bounds.y1, bounds.y2)
+    return np.column_stack((x, y))
+
+
+# ----------------------------------------------------------------------
+# dataset families
+# ----------------------------------------------------------------------
+def uniform_rects(
+    n: int,
+    *,
+    bounds: Rect = Rect(0.0, 0.0, 10_000.0, 10_000.0),
+    width: float = 100.0,
+    height: float = 100.0,
+    seed: SeedLike = None,
+) -> RectSet:
+    """``n`` identical ``width × height`` rectangles placed uniformly.
+
+    The zero-skew control dataset: the Uniform estimator should be nearly
+    exact on it, which the test suite checks.
+    Rectangle centers are kept inside ``bounds`` shrunk by half an extent
+    so every rectangle lies fully within the space.
+    """
+    gen = _as_rng(seed)
+    cx = gen.uniform(bounds.x1 + width / 2, bounds.x2 - width / 2, n)
+    cy = gen.uniform(bounds.y1 + height / 2, bounds.y2 - height / 2, n)
+    return RectSet.from_centers(cx, cy, np.full(n, width), np.full(n, height))
+
+
+def skewed_rects(
+    n: int,
+    *,
+    bounds: Rect = Rect(0.0, 0.0, 10_000.0, 10_000.0),
+    placement_z: float = 1.0,
+    size_z: float = 1.0,
+    min_side: float = 10.0,
+    max_side: float = 500.0,
+    seed: SeedLike = None,
+) -> RectSet:
+    """Rectangles with Zipfian placement skew *and* size skew.
+
+    ``placement_z`` controls how strongly centers concentrate towards a
+    corner (2-D Zipf per the paper); ``size_z`` controls how heavy the
+    size distribution's head of small rectangles is.
+    """
+    gen = _as_rng(seed)
+    centers = zipf_positions_2d(n, placement_z, bounds, gen)
+    widths = zipf_values(n, size_z, min_side, max_side, gen)
+    heights = zipf_values(n, size_z, min_side, max_side, gen)
+    return RectSet.from_centers(
+        centers[:, 0], centers[:, 1], widths, heights
+    )
+
+
+def clustered_rects(
+    n: int,
+    *,
+    bounds: Rect = Rect(0.0, 0.0, 10_000.0, 10_000.0),
+    n_clusters: int = 8,
+    cluster_std_frac: float = 0.03,
+    background_frac: float = 0.1,
+    width: float = 80.0,
+    height: float = 80.0,
+    size_jitter: float = 0.5,
+    seed: SeedLike = None,
+) -> RectSet:
+    """Gaussian cluster mixture with a uniform background.
+
+    Cluster weights follow a Zipf law so cluster densities vary — a
+    moderate-skew family between ``uniform_rects`` and ``charminar``.
+
+    Parameters
+    ----------
+    cluster_std_frac:
+        Cluster standard deviation as a fraction of the bounds width.
+    background_frac:
+        Fraction of rectangles placed uniformly over the whole space.
+    size_jitter:
+        Rect sides are scaled by ``U[1 - j, 1 + j]``.
+    """
+    if not 0.0 <= background_frac <= 1.0:
+        raise ValueError("background_frac must be in [0, 1]")
+    gen = _as_rng(seed)
+    n_background = int(round(n * background_frac))
+    n_clustered = n - n_background
+
+    cluster_centers = np.column_stack(
+        (
+            gen.uniform(bounds.x1, bounds.x2, n_clusters),
+            gen.uniform(bounds.y1, bounds.y2, n_clusters),
+        )
+    )
+    weights = np.arange(1, n_clusters + 1, dtype=np.float64) ** -1.0
+    weights /= weights.sum()
+    assignment = gen.choice(n_clusters, size=n_clustered, p=weights)
+    std = cluster_std_frac * bounds.width
+    pts = cluster_centers[assignment] + gen.normal(0.0, std,
+                                                   (n_clustered, 2))
+
+    bg = np.column_stack(
+        (
+            gen.uniform(bounds.x1, bounds.x2, n_background),
+            gen.uniform(bounds.y1, bounds.y2, n_background),
+        )
+    )
+    centers = np.vstack((pts, bg))
+    np.clip(centers[:, 0], bounds.x1, bounds.x2, out=centers[:, 0])
+    np.clip(centers[:, 1], bounds.y1, bounds.y2, out=centers[:, 1])
+
+    scale = gen.uniform(1.0 - size_jitter, 1.0 + size_jitter, n)
+    return RectSet.from_centers(
+        centers[:, 0], centers[:, 1], width * scale, height * scale
+    )
+
+
+def diagonal_rects(
+    n: int,
+    *,
+    bounds: Rect = Rect(0.0, 0.0, 10_000.0, 10_000.0),
+    spread_frac: float = 0.05,
+    width: float = 100.0,
+    height: float = 100.0,
+    seed: SeedLike = None,
+) -> RectSet:
+    """Rectangles concentrated along the main diagonal.
+
+    An adversarial case for axis-aligned partitionings: no horizontal or
+    vertical split isolates the dense band, so it stresses the BSP
+    restriction that Min-Skew accepts for tractability.
+    """
+    gen = _as_rng(seed)
+    t = gen.uniform(0.0, 1.0, n)
+    spread = spread_frac * bounds.width
+    cx = bounds.x1 + t * bounds.width + gen.normal(0.0, spread, n)
+    cy = bounds.y1 + t * bounds.height + gen.normal(0.0, spread, n)
+    np.clip(cx, bounds.x1, bounds.x2, out=cx)
+    np.clip(cy, bounds.y1, bounds.y2, out=cy)
+    return RectSet.from_centers(cx, cy, np.full(n, width),
+                                np.full(n, height))

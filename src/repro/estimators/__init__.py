@@ -1,0 +1,23 @@
+"""Selectivity estimators: the shared interface, the generic bucket
+estimator, and the non-bucket baselines (Uniform, Sample, Fractal) plus
+an exact oracle wrapper."""
+
+from .base import SelectivityEstimator
+from .bucket_estimator import WORDS_PER_BUCKET, BucketEstimator
+from .exact import ExactEstimator
+from .fractal import FractalEstimator, correlation_dimension
+from .sampling import WORDS_PER_SAMPLE, SampleEstimator, reservoir_sample
+from .uniform import UniformEstimator
+
+__all__ = [
+    "SelectivityEstimator",
+    "BucketEstimator",
+    "WORDS_PER_BUCKET",
+    "UniformEstimator",
+    "SampleEstimator",
+    "WORDS_PER_SAMPLE",
+    "reservoir_sample",
+    "FractalEstimator",
+    "correlation_dimension",
+    "ExactEstimator",
+]

@@ -1,0 +1,52 @@
+"""Selectivity estimator interface.
+
+Every technique in the paper's evaluation — Uniform, Sample, the fractal
+method, and all four bucket-based partitionings — is exposed through this
+one interface, so the experiment runner can sweep them uniformly.
+
+An estimator reports its summary size in *words*
+(:meth:`SelectivityEstimator.size_words`), the unit of the paper's
+Section 5.4 space accounting; :mod:`repro.eval.space` converts between
+word budgets, bucket counts, and sample sizes.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..geometry import Rect, RectSet
+
+
+class SelectivityEstimator(abc.ABC):
+    """Answers result-size queries from a compact data summary."""
+
+    #: Technique name used in reports ("Min-Skew", "Sample", ...).
+    name: str = "estimator"
+
+    @abc.abstractmethod
+    def estimate(self, query: Rect) -> float:
+        """Estimated |Q|: number of input rectangles intersecting
+        ``query``.  Never negative; point queries are degenerate
+        rectangles."""
+
+    def estimate_many(self, queries: RectSet) -> np.ndarray:
+        """Vectorised :meth:`estimate`; subclasses override when they
+        can batch the computation."""
+        return np.array(
+            [self.estimate(q) for q in queries], dtype=np.float64
+        )
+
+    @abc.abstractmethod
+    def size_words(self) -> int:
+        """Summary footprint in words (Section 5.4 accounting)."""
+
+    def selectivity(self, query: Rect, n_input: int) -> float:
+        """Estimated selectivity |Q| / N."""
+        if n_input <= 0:
+            raise ValueError("n_input must be positive")
+        return self.estimate(query) / n_input
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

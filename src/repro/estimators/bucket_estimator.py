@@ -1,0 +1,62 @@
+"""Estimator over any bucket grouping.
+
+This is the "technique for using the resulting set of buckets to estimate
+the result sizes" of paper Section 3.2: selectivity estimation reduces to
+the individual buckets, each answered with the Section 3.1 uniformity
+formulas, and the per-bucket contributions are summed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.bucket import Bucket, estimate_many
+from ..geometry import Rect, RectSet
+from ..partitioners.base import Partitioner
+from .base import SelectivityEstimator
+
+#: Words of summary state per bucket (Section 5.4): four for the
+#: bounding box, one each for average density, count, average width and
+#: average height.
+WORDS_PER_BUCKET = 8
+
+
+class BucketEstimator(SelectivityEstimator):
+    """Sums the uniformity-assumption estimate over a bucket list."""
+
+    def __init__(self, buckets: Sequence[Bucket], name: str = "buckets"):
+        if not buckets:
+            raise ValueError("at least one bucket is required")
+        self.buckets: List[Bucket] = list(buckets)
+        self.name = name
+
+    @classmethod
+    def build(
+        cls,
+        partitioner: Partitioner,
+        rects: RectSet,
+        *,
+        bounds: Optional[Rect] = None,
+    ) -> "BucketEstimator":
+        """Partition ``rects`` and wrap the result."""
+        buckets = partitioner.partition(rects, bounds=bounds)
+        return cls(buckets, name=partitioner.name)
+
+    def estimate(self, query: Rect) -> float:
+        return float(sum(b.estimate(query) for b in self.buckets))
+
+    def estimate_many(self, queries: RectSet) -> np.ndarray:
+        return estimate_many(self.buckets, queries)
+
+    def size_words(self) -> int:
+        return WORDS_PER_BUCKET * len(self.buckets)
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self.buckets)
+
+    def total_count(self) -> int:
+        """Sum of bucket counts (= N when the grouping partitions T)."""
+        return sum(b.count for b in self.buckets)

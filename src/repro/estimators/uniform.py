@@ -1,0 +1,28 @@
+"""The Uniform technique (paper Sections 3.1 and 5.3).
+
+A single-bucket approximation: assume the input rectangles are of
+identical (average) width and height and uniformly placed within the
+dataset MBR.  Point queries get TA / Area(T) — the mean number of
+rectangles covering a point — and range queries get the extended-area
+formula; both fall out of the shared bucket formula with one bucket.
+
+The paper reports 57–80 % error for Uniform on NJ Road: "real-life
+spatial data is inherently skewed and thus cannot be captured by a
+trivial single bucket approximation."
+"""
+
+from __future__ import annotations
+
+from ..core.bucket import Bucket
+from ..geometry import RectSet
+from .bucket_estimator import BucketEstimator
+
+
+class UniformEstimator(BucketEstimator):
+    """One bucket over the whole input MBR."""
+
+    def __init__(self, rects: RectSet) -> None:
+        if len(rects) == 0:
+            raise ValueError("cannot summarise an empty distribution")
+        bucket = Bucket.from_members(rects.mbr(), rects)
+        super().__init__([bucket], name="Uniform")

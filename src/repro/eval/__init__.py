@@ -1,0 +1,39 @@
+"""Evaluation framework: the paper's metrics, Section 5.4 space
+accounting, technique factory, experiment definitions, and reporting."""
+
+from .metrics import ErrorSummary, average_relative_error, error_summary
+from .runner import (
+    ALL_TECHNIQUES,
+    COMPETITIVE_TECHNIQUES,
+    BuildResult,
+    ExperimentRunner,
+    build_estimator,
+    timed_build,
+)
+from .space import (
+    SAMPLE_LIBERAL_FACTOR,
+    buckets_for_words,
+    fair_sample_size,
+    paper_sample_size,
+    words_for_buckets,
+)
+from . import experiments, report
+
+__all__ = [
+    "average_relative_error",
+    "error_summary",
+    "ErrorSummary",
+    "build_estimator",
+    "timed_build",
+    "BuildResult",
+    "ExperimentRunner",
+    "ALL_TECHNIQUES",
+    "COMPETITIVE_TECHNIQUES",
+    "words_for_buckets",
+    "buckets_for_words",
+    "fair_sample_size",
+    "paper_sample_size",
+    "SAMPLE_LIBERAL_FACTOR",
+    "experiments",
+    "report",
+]

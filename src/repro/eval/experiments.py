@@ -1,0 +1,310 @@
+"""The paper's experiments as reusable functions.
+
+Each function reproduces one quantitative artifact of Section 5 and
+returns plain records (lists of dicts) that the report module renders and
+the benchmark suite asserts on:
+
+=============================  =======================================
+Function                       Paper artifact
+=============================  =======================================
+:func:`error_vs_qsize`         Figure 8 (error vs QSize, 100 buckets)
+:func:`error_vs_buckets`       Figure 9 (error vs bucket count)
+:func:`error_vs_regions`       Figure 10(a)/(b) (Min-Skew region sweep)
+:func:`progressive_refinement` Figure 11 (error vs refinement count)
+:func:`construction_times`     Table 1 (preprocessing time)
+=============================  =======================================
+
+Dataset sizes and query counts default to scaled-down values so the suite
+runs in CI time; pass the paper-scale parameters for full fidelity (see
+EXPERIMENTS.md for both sets of numbers).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..core.minskew import MinSkewPartitioner
+from ..estimators import BucketEstimator
+from ..geometry import RectSet
+from ..workload import point_queries, range_queries
+from .runner import (
+    COMPETITIVE_TECHNIQUES,
+    ExperimentRunner,
+    build_estimator,
+    timed_build,
+)
+
+Record = Dict[str, object]
+
+
+def error_vs_qsize(
+    data: RectSet,
+    *,
+    techniques: Sequence[str] = COMPETITIVE_TECHNIQUES,
+    qsizes: Sequence[float] = (0.02, 0.05, 0.10, 0.15, 0.20, 0.25),
+    n_buckets: int = 100,
+    n_queries: int = 2_000,
+    n_regions: int = 10_000,
+    seed: int = 42,
+    rtree_method: str = "insert",
+) -> List[Record]:
+    """Figure 8: relative error as a function of query size.
+
+    One record per (technique, qsize): the estimator is built once per
+    technique and evaluated on every workload.
+    """
+    runner = ExperimentRunner(data)
+    workloads = {
+        q: range_queries(data, q, n_queries, seed=seed + i)
+        for i, q in enumerate(qsizes)
+    }
+    records: List[Record] = []
+    for technique in techniques:
+        built = timed_build(
+            technique,
+            data,
+            n_buckets,
+            n_regions=n_regions,
+            rtree_method=rtree_method,
+            seed=seed,
+        )
+        for qsize, queries in workloads.items():
+            errors = runner.evaluate(built.estimator, queries)
+            records.append(
+                {
+                    "technique": technique,
+                    "qsize": qsize,
+                    "n_buckets": n_buckets,
+                    "error": errors.average_relative_error,
+                    "build_seconds": built.build_seconds,
+                }
+            )
+    return records
+
+
+def error_vs_buckets(
+    data: RectSet,
+    *,
+    techniques: Sequence[str] = COMPETITIVE_TECHNIQUES,
+    bucket_counts: Sequence[int] = (50, 100, 200, 400, 750),
+    qsizes: Sequence[float] = (0.05, 0.25),
+    n_queries: int = 2_000,
+    n_regions: int = 10_000,
+    seed: int = 42,
+    rtree_method: str = "insert",
+) -> List[Record]:
+    """Figure 9: relative error as a function of the bucket budget.
+
+    The paper plots two panels (QSize 5 % and 25 %); one record per
+    (technique, bucket count, qsize).
+    """
+    runner = ExperimentRunner(data)
+    workloads = {
+        q: range_queries(data, q, n_queries, seed=seed + i)
+        for i, q in enumerate(qsizes)
+    }
+    records: List[Record] = []
+    for technique in techniques:
+        for n_buckets in bucket_counts:
+            built = timed_build(
+                technique,
+                data,
+                n_buckets,
+                n_regions=n_regions,
+                rtree_method=rtree_method,
+                seed=seed,
+            )
+            for qsize, queries in workloads.items():
+                errors = runner.evaluate(built.estimator, queries)
+                records.append(
+                    {
+                        "technique": technique,
+                        "qsize": qsize,
+                        "n_buckets": n_buckets,
+                        "error": errors.average_relative_error,
+                        "build_seconds": built.build_seconds,
+                    }
+                )
+    return records
+
+
+def error_vs_regions(
+    data: RectSet,
+    *,
+    region_counts: Sequence[int] = (
+        100, 400, 1_000, 4_000, 10_000, 30_000
+    ),
+    qsizes: Sequence[float] = (0.05, 0.25),
+    n_buckets: int = 100,
+    n_queries: int = 2_000,
+    seed: int = 42,
+) -> List[Record]:
+    """Figures 10(a)/(b): Min-Skew sensitivity to the region count.
+
+    On real-life-like data errors fall then flatten (10a); on the
+    extreme corner-skewed Charminar data the large-query error *rises*
+    with very fine grids (10b) — the effect progressive refinement
+    repairs.
+    """
+    runner = ExperimentRunner(data)
+    workloads = {
+        q: range_queries(data, q, n_queries, seed=seed + i)
+        for i, q in enumerate(qsizes)
+    }
+    records: List[Record] = []
+    for n_regions in region_counts:
+        built = timed_build(
+            "Min-Skew", data, n_buckets, n_regions=n_regions, seed=seed
+        )
+        for qsize, queries in workloads.items():
+            errors = runner.evaluate(built.estimator, queries)
+            records.append(
+                {
+                    "technique": "Min-Skew",
+                    "qsize": qsize,
+                    "n_buckets": n_buckets,
+                    "n_regions": n_regions,
+                    "error": errors.average_relative_error,
+                    "build_seconds": built.build_seconds,
+                }
+            )
+    return records
+
+
+def progressive_refinement(
+    data: RectSet,
+    *,
+    refinement_counts: Sequence[int] = (0, 1, 2, 3, 4, 5),
+    n_regions: int = 30_000,
+    qsize: float = 0.25,
+    n_buckets: int = 100,
+    n_queries: int = 2_000,
+    seed: int = 42,
+    baseline_regions: Optional[Sequence[int]] = None,
+) -> List[Record]:
+    """Figure 11: error vs number of refinements for large queries.
+
+    ``baseline_regions`` optionally adds the "minimum achievable by
+    picking the correct region size" reference line of the figure: the
+    plain Min-Skew error minimised over those region counts is attached
+    to every record as ``baseline_error``.
+    """
+    runner = ExperimentRunner(data)
+    queries = range_queries(data, qsize, n_queries, seed=seed)
+
+    baseline_error: Optional[float] = None
+    if baseline_regions:
+        candidates = []
+        for regions in baseline_regions:
+            built = timed_build(
+                "Min-Skew", data, n_buckets, n_regions=regions, seed=seed
+            )
+            errors = runner.evaluate(built.estimator, queries)
+            candidates.append(errors.average_relative_error)
+        baseline_error = min(candidates)
+
+    records: List[Record] = []
+    for refinements in refinement_counts:
+        start = time.perf_counter()
+        partitioner = MinSkewPartitioner(
+            n_buckets, n_regions=n_regions, refinements=refinements
+        )
+        estimator = BucketEstimator.build(partitioner, data)
+        build_seconds = time.perf_counter() - start
+        errors = runner.evaluate(estimator, queries)
+        records.append(
+            {
+                "technique": "Min-Skew",
+                "refinements": refinements,
+                "qsize": qsize,
+                "n_buckets": n_buckets,
+                "n_regions": n_regions,
+                "error": errors.average_relative_error,
+                "baseline_error": baseline_error,
+                "build_seconds": build_seconds,
+            }
+        )
+    return records
+
+
+def point_query_error(
+    data: RectSet,
+    *,
+    techniques: Sequence[str] = COMPETITIVE_TECHNIQUES,
+    n_buckets: int = 100,
+    n_queries: int = 2_000,
+    n_regions: int = 10_000,
+    seed: int = 42,
+    rtree_method: str = "insert",
+) -> List[Record]:
+    """Point-query accuracy (Section 3.1's zero-extent special case).
+
+    A point query is the hardest regime for every technique: no bucket
+    is ever fully contained, so the entire answer rides on the local
+    uniformity assumption.  One record per technique.
+    """
+    runner = ExperimentRunner(data)
+    queries = point_queries(data, n_queries, seed=seed)
+    records: List[Record] = []
+    for technique in techniques:
+        built = timed_build(
+            technique,
+            data,
+            n_buckets,
+            n_regions=n_regions,
+            rtree_method=rtree_method,
+            seed=seed,
+        )
+        errors = runner.evaluate(built.estimator, queries)
+        records.append(
+            {
+                "technique": technique,
+                "qsize": 0.0,
+                "n_buckets": n_buckets,
+                "error": errors.average_relative_error,
+                "build_seconds": built.build_seconds,
+            }
+        )
+    return records
+
+
+def construction_times(
+    datasets: Dict[str, RectSet],
+    *,
+    techniques: Sequence[str] = (
+        "Min-Skew", "Equi-Area", "Equi-Count", "R-Tree", "Uniform"
+    ),
+    bucket_counts: Sequence[int] = (100, 750),
+    n_regions: int = 10_000,
+    rtree_method: str = "insert",
+) -> List[Record]:
+    """Table 1: preprocessing time per (technique, dataset, buckets).
+
+    ``datasets`` maps a label (the paper uses input sizes: "50K",
+    "400K") to the rectangles.  Estimation quality is not measured here;
+    only construction is timed.
+    """
+    records: List[Record] = []
+    for label, data in datasets.items():
+        for technique in techniques:
+            for n_buckets in bucket_counts:
+                start = time.perf_counter()
+                build_estimator(
+                    technique,
+                    data,
+                    n_buckets,
+                    n_regions=n_regions,
+                    rtree_method=rtree_method,
+                )
+                elapsed = time.perf_counter() - start
+                records.append(
+                    {
+                        "technique": technique,
+                        "dataset": label,
+                        "input_size": len(data),
+                        "n_buckets": n_buckets,
+                        "build_seconds": elapsed,
+                    }
+                )
+    return records

@@ -1,0 +1,77 @@
+"""Error metrics (paper Section 5).
+
+The paper's headline metric is the *average relative error*
+
+    ( Σ_{q ∈ Q} |r_q − e_q| ) / ( Σ_{q ∈ Q} r_q )
+
+— total absolute error normalised by total true result size.  It is
+"undefined if all queries in the query set produce no output"; we raise
+in that case rather than return a silent NaN.  Additional diagnostics
+(mean/median per-query error, RMSE) are provided for analyses beyond the
+paper's plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def average_relative_error(
+    true_counts: np.ndarray, estimates: np.ndarray
+) -> float:
+    """The paper's error metric: Σ|r − e| / Σr."""
+    r = np.asarray(true_counts, dtype=np.float64)
+    e = np.asarray(estimates, dtype=np.float64)
+    if r.shape != e.shape:
+        raise ValueError(
+            f"shape mismatch: true {r.shape} vs estimates {e.shape}"
+        )
+    denominator = r.sum()
+    if denominator <= 0.0:
+        raise ValueError(
+            "average relative error is undefined when every query "
+            "returns an empty result"
+        )
+    return float(np.abs(r - e).sum() / denominator)
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Aggregate error diagnostics for one (technique, workload) pair."""
+
+    average_relative_error: float
+    mean_per_query_error: float
+    median_per_query_error: float
+    rmse: float
+    n_queries: int
+
+    def __str__(self) -> str:
+        return (
+            f"ARE={self.average_relative_error:.3f} "
+            f"mean={self.mean_per_query_error:.3f} "
+            f"median={self.median_per_query_error:.3f} "
+            f"rmse={self.rmse:.1f} (n={self.n_queries})"
+        )
+
+
+def error_summary(
+    true_counts: np.ndarray, estimates: np.ndarray
+) -> ErrorSummary:
+    """Full error diagnostics; per-query ratios skip empty results."""
+    r = np.asarray(true_counts, dtype=np.float64)
+    e = np.asarray(estimates, dtype=np.float64)
+    are = average_relative_error(r, e)
+    nonzero = r > 0
+    per_query = np.abs(r[nonzero] - e[nonzero]) / r[nonzero]
+    rmse = float(np.sqrt(np.mean((r - e) ** 2)))
+    return ErrorSummary(
+        average_relative_error=are,
+        mean_per_query_error=float(per_query.mean()) if per_query.size
+        else 0.0,
+        median_per_query_error=float(np.median(per_query))
+        if per_query.size else 0.0,
+        rmse=rmse,
+        n_queries=int(r.size),
+    )

@@ -1,0 +1,103 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures and
+tables report; these helpers format experiment records as aligned ASCII
+tables and pivot them into series (one line per technique, one column per
+x value), which is the closest textual analogue of the paper's plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+Record = Dict[str, object]
+
+
+def format_table(
+    records: Sequence[Record],
+    columns: Sequence[str],
+    *,
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """Render records as an aligned ASCII table with a header row."""
+    header = [str(c) for c in columns]
+    rows: List[List[str]] = [header]
+    for record in records:
+        row = []
+        for column in columns:
+            value = record.get(column, "")
+            if isinstance(value, float):
+                row.append(floatfmt.format(value))
+            else:
+                row.append(str(value))
+        rows.append(row)
+
+    widths = [
+        max(len(row[i]) for row in rows) for i in range(len(header))
+    ]
+    lines = []
+    for idx, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def pivot_series(
+    records: Sequence[Record],
+    *,
+    series_key: str = "technique",
+    x_key: str = "qsize",
+    y_key: str = "error",
+) -> Dict[object, Dict[object, float]]:
+    """Pivot records into ``{series: {x: y}}`` (a plot's data, as dicts).
+
+    Records missing any of the keys are skipped; later duplicates win.
+    """
+    series: Dict[object, Dict[object, float]] = {}
+    for record in records:
+        if not all(k in record for k in (series_key, x_key, y_key)):
+            continue
+        series.setdefault(record[series_key], {})[record[x_key]] = \
+            float(record[y_key])  # type: ignore[index,arg-type]
+    return series
+
+
+def format_series(
+    records: Sequence[Record],
+    *,
+    series_key: str = "technique",
+    x_key: str = "qsize",
+    y_key: str = "error",
+    floatfmt: str = "{:.3f}",
+    title: str = "",
+) -> str:
+    """Render a pivot as the textual analogue of a paper figure.
+
+    One row per series (technique), one column per x value, cells are
+    the measured y (average relative error by default).
+    """
+    pivot = pivot_series(
+        records, series_key=series_key, x_key=x_key, y_key=y_key
+    )
+    xs = sorted({x for ys in pivot.values() for x in ys})
+    header = [series_key] + [str(x) for x in xs]
+    rows = [header]
+    for name in pivot:
+        row = [str(name)]
+        for x in xs:
+            y = pivot[name].get(x)
+            row.append("" if y is None else floatfmt.format(y))
+        rows.append(row)
+
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = [title] if title else []
+    for idx, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

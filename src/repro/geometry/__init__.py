@@ -1,0 +1,7 @@
+"""Rectangle geometry kernel: scalar :class:`Rect` and columnar
+:class:`RectSet` primitives used by every other subsystem."""
+
+from .rect import Rect, mbr_of
+from .rectset import RectSet
+
+__all__ = ["Rect", "RectSet", "mbr_of"]

@@ -1,0 +1,197 @@
+"""Axis-aligned rectangle primitives.
+
+The paper's data model (Section 2) is a distribution ``T`` of N
+two-dimensional rectangles ``r_i = [(x1, y1), (x2, y2)]`` where the two
+corners are the lower-left and upper-right corners.  :class:`Rect` is the
+scalar building block used throughout the library; bulk storage lives in
+:class:`repro.geometry.rectset.RectSet`, which keeps corner coordinates in
+numpy arrays.
+
+Rectangles are *closed*: two rectangles that merely touch along an edge or
+at a corner are considered intersecting, which matches the paper's
+definition of the result size |Q| as "the number of rectangles in the input
+that have a non-empty intersection with the query rectangle".
+
+Degenerate rectangles (zero width and/or height) are valid: a point query
+is simply a rectangle with ``x1 == x2`` and ``y1 == y2`` (Section 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A closed, axis-aligned rectangle ``[(x1, y1), (x2, y2)]``.
+
+    Attributes
+    ----------
+    x1, y1:
+        Lower-left corner.
+    x2, y2:
+        Upper-right corner.  Must satisfy ``x2 >= x1`` and ``y2 >= y1``.
+    """
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+
+    def __post_init__(self) -> None:
+        if self.x2 < self.x1 or self.y2 < self.y1:
+            raise ValueError(
+                f"invalid rectangle: ({self.x1}, {self.y1}, {self.x2}, "
+                f"{self.y2}) has negative extent"
+            )
+        if not all(
+            math.isfinite(v) for v in (self.x1, self.y1, self.x2, self.y2)
+        ):
+            raise ValueError("rectangle coordinates must be finite")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_center(
+        cls, cx: float, cy: float, width: float, height: float
+    ) -> "Rect":
+        """Build a rectangle from its center point and full extents."""
+        if width < 0 or height < 0:
+            raise ValueError("width and height must be non-negative")
+        half_w = width / 2.0
+        half_h = height / 2.0
+        return cls(cx - half_w, cy - half_h, cx + half_w, cy + half_h)
+
+    @classmethod
+    def point(cls, x: float, y: float) -> "Rect":
+        """A degenerate rectangle representing the point ``(x, y)``."""
+        return cls(x, y, x, y)
+
+    # ------------------------------------------------------------------
+    # basic measures
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.x2 - self.x1
+
+    @property
+    def height(self) -> float:
+        return self.y2 - self.y1
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def margin(self) -> float:
+        """Perimeter half-sum (the R*-tree 'margin' measure)."""
+        return self.width + self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return ((self.x1 + self.x2) / 2.0, (self.y1 + self.y2) / 2.0)
+
+    @property
+    def is_point(self) -> bool:
+        return self.x1 == self.x2 and self.y1 == self.y2
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def intersects(self, other: "Rect") -> bool:
+        """True if the closed rectangles share at least one point."""
+        return (
+            self.x1 <= other.x2
+            and self.x2 >= other.x1
+            and self.y1 <= other.y2
+            and self.y2 >= other.y1
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """True if ``(x, y)`` lies in the closed rectangle."""
+        return self.x1 <= x <= self.x2 and self.y1 <= y <= self.y2
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if ``other`` lies entirely inside ``self`` (closed)."""
+        return (
+            self.x1 <= other.x1
+            and self.y1 <= other.y1
+            and self.x2 >= other.x2
+            and self.y2 >= other.y2
+        )
+
+    # ------------------------------------------------------------------
+    # combinators
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Rect") -> "Rect":
+        """The overlap rectangle; raises ValueError if disjoint."""
+        if not self.intersects(other):
+            raise ValueError(f"{self} and {other} do not intersect")
+        return Rect(
+            max(self.x1, other.x1),
+            max(self.y1, other.y1),
+            min(self.x2, other.x2),
+            min(self.y2, other.y2),
+        )
+
+    def intersection_area(self, other: "Rect") -> float:
+        """Area of overlap with ``other`` (0.0 if disjoint)."""
+        dx = min(self.x2, other.x2) - max(self.x1, other.x1)
+        dy = min(self.y2, other.y2) - max(self.y1, other.y1)
+        if dx < 0 or dy < 0:
+            return 0.0
+        return dx * dy
+
+    def union(self, other: "Rect") -> "Rect":
+        """Minimum bounding rectangle of the two rectangles."""
+        return Rect(
+            min(self.x1, other.x1),
+            min(self.y1, other.y1),
+            max(self.x2, other.x2),
+            max(self.y2, other.y2),
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Extra area needed to grow ``self`` to also cover ``other``."""
+        return self.union(other).area - self.area
+
+    def expanded(self, dx: float, dy: float) -> "Rect":
+        """Grow by ``dx`` on each horizontal side and ``dy`` vertically.
+
+        Negative values shrink the rectangle; the result is clamped so it
+        never inverts (collapses to its own center line instead).
+        """
+        cx, cy = self.center
+        new_x1 = min(self.x1 - dx, cx)
+        new_x2 = max(self.x2 + dx, cx)
+        new_y1 = min(self.y1 - dy, cy)
+        new_y2 = max(self.y2 + dy, cy)
+        return Rect(new_x1, new_y1, new_x2, new_y2)
+
+    def clamped(self, bounds: "Rect") -> "Rect":
+        """Clip this rectangle to ``bounds`` (they must overlap)."""
+        return self.intersection(bounds)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        """The rectangle as ``(x1, y1, x2, y2)``."""
+        return (self.x1, self.y1, self.x2, self.y2)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.as_tuple())
+
+
+def mbr_of(rects: "list[Rect]") -> Rect:
+    """Minimum bounding rectangle of a non-empty sequence of rectangles."""
+    if not rects:
+        raise ValueError("mbr_of() requires at least one rectangle")
+    x1 = min(r.x1 for r in rects)
+    y1 = min(r.y1 for r in rects)
+    x2 = max(r.x2 for r in rects)
+    y2 = max(r.y2 for r in rects)
+    return Rect(x1, y1, x2, y2)

@@ -1,0 +1,232 @@
+"""Columnar storage for large rectangle collections.
+
+The paper's datasets range from 40 000 (Charminar) to 414 442 (NJ Road)
+rectangles, so per-object Python instances are far too slow for density
+sweeps and exact counting.  :class:`RectSet` keeps the four corner
+coordinates in a single ``(N, 4)`` float64 numpy array with columns
+``(x1, y1, x2, y2)`` and exposes vectorised bulk operations.
+
+All summary statistics the paper's formulas use — the dataset MBR
+``Area(T)``, the total rectangle area ``TA``, and the average extents
+``W_avg`` / ``H_avg`` (Section 2) — are computed here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Union
+
+import numpy as np
+
+from .rect import Rect
+
+ArrayLike = Union[np.ndarray, Sequence[Sequence[float]]]
+
+
+class RectSet:
+    """An immutable set of N closed, axis-aligned rectangles.
+
+    Parameters
+    ----------
+    coords:
+        ``(N, 4)`` array-like with columns ``(x1, y1, x2, y2)``.
+    copy:
+        Copy the input data (default).  When ``False`` the caller promises
+        not to mutate the array afterwards.
+    validate:
+        Check that every rectangle has non-negative extent and finite
+        coordinates.  Disable only for trusted, internally-generated data.
+    """
+
+    __slots__ = ("_coords",)
+
+    def __init__(
+        self, coords: ArrayLike, *, copy: bool = True, validate: bool = True
+    ) -> None:
+        arr = np.asarray(coords, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != 4:
+            raise ValueError(
+                f"expected an (N, 4) array of (x1, y1, x2, y2); "
+                f"got shape {arr.shape}"
+            )
+        if copy:
+            arr = arr.copy()
+        if validate and arr.size:
+            if not np.isfinite(arr).all():
+                raise ValueError("rectangle coordinates must be finite")
+            bad = (arr[:, 2] < arr[:, 0]) | (arr[:, 3] < arr[:, 1])
+            if bad.any():
+                first = int(np.flatnonzero(bad)[0])
+                raise ValueError(
+                    f"rectangle {first} has negative extent: {arr[first]}"
+                )
+        arr.setflags(write=False)
+        self._coords = arr
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rects(cls, rects: Iterable[Rect]) -> "RectSet":
+        """Build from an iterable of :class:`Rect` objects."""
+        data = [r.as_tuple() for r in rects]
+        if not data:
+            return cls.empty()
+        return cls(np.asarray(data, dtype=np.float64), copy=False,
+                   validate=False)
+
+    @classmethod
+    def from_centers(
+        cls,
+        cx: np.ndarray,
+        cy: np.ndarray,
+        widths: np.ndarray,
+        heights: np.ndarray,
+    ) -> "RectSet":
+        """Build from per-rectangle centers and full extents."""
+        cx = np.asarray(cx, dtype=np.float64)
+        cy = np.asarray(cy, dtype=np.float64)
+        widths = np.asarray(widths, dtype=np.float64)
+        heights = np.asarray(heights, dtype=np.float64)
+        if np.any(widths < 0) or np.any(heights < 0):
+            raise ValueError("extents must be non-negative")
+        half_w = widths / 2.0
+        half_h = heights / 2.0
+        coords = np.column_stack(
+            (cx - half_w, cy - half_h, cx + half_w, cy + half_h)
+        )
+        return cls(coords, copy=False, validate=False)
+
+    @classmethod
+    def empty(cls) -> "RectSet":
+        return cls(np.empty((0, 4), dtype=np.float64), copy=False,
+                   validate=False)
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._coords.shape[0]
+
+    def __getitem__(self, index: int) -> Rect:
+        x1, y1, x2, y2 = self._coords[index]
+        return Rect(float(x1), float(y1), float(x2), float(y2))
+
+    def __iter__(self) -> Iterator[Rect]:
+        for row in self._coords:
+            yield Rect(float(row[0]), float(row[1]), float(row[2]),
+                       float(row[3]))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RectSet):
+            return NotImplemented
+        return np.array_equal(self._coords, other._coords)
+
+    def __repr__(self) -> str:
+        return f"RectSet(n={len(self)})"
+
+    # ------------------------------------------------------------------
+    # columnar views
+    # ------------------------------------------------------------------
+    @property
+    def coords(self) -> np.ndarray:
+        """Read-only ``(N, 4)`` view of ``(x1, y1, x2, y2)``."""
+        return self._coords
+
+    @property
+    def x1(self) -> np.ndarray:
+        return self._coords[:, 0]
+
+    @property
+    def y1(self) -> np.ndarray:
+        return self._coords[:, 1]
+
+    @property
+    def x2(self) -> np.ndarray:
+        return self._coords[:, 2]
+
+    @property
+    def y2(self) -> np.ndarray:
+        return self._coords[:, 3]
+
+    @property
+    def widths(self) -> np.ndarray:
+        return self.x2 - self.x1
+
+    @property
+    def heights(self) -> np.ndarray:
+        return self.y2 - self.y1
+
+    @property
+    def areas(self) -> np.ndarray:
+        return self.widths * self.heights
+
+    def centers(self) -> np.ndarray:
+        """``(N, 2)`` array of rectangle centers."""
+        cx = (self.x1 + self.x2) / 2.0
+        cy = (self.y1 + self.y2) / 2.0
+        return np.column_stack((cx, cy))
+
+    # ------------------------------------------------------------------
+    # dataset-level statistics (Section 2 notation)
+    # ------------------------------------------------------------------
+    def mbr(self) -> Rect:
+        """Minimum bounding rectangle of the whole distribution T."""
+        if len(self) == 0:
+            raise ValueError("empty RectSet has no MBR")
+        return Rect(
+            float(self.x1.min()),
+            float(self.y1.min()),
+            float(self.x2.max()),
+            float(self.y2.max()),
+        )
+
+    def total_area(self) -> float:
+        """TA: the sum of areas of all rectangles."""
+        return float(self.areas.sum())
+
+    def avg_width(self) -> float:
+        """W_avg (0.0 for an empty set)."""
+        return float(self.widths.mean()) if len(self) else 0.0
+
+    def avg_height(self) -> float:
+        """H_avg (0.0 for an empty set)."""
+        return float(self.heights.mean()) if len(self) else 0.0
+
+    # ------------------------------------------------------------------
+    # bulk queries
+    # ------------------------------------------------------------------
+    def intersects_mask(self, query: Rect) -> np.ndarray:
+        """Boolean mask of rectangles intersecting ``query`` (closed)."""
+        c = self._coords
+        return (
+            (c[:, 0] <= query.x2)
+            & (c[:, 2] >= query.x1)
+            & (c[:, 1] <= query.y2)
+            & (c[:, 3] >= query.y1)
+        )
+
+    def count_intersecting(self, query: Rect) -> int:
+        """Exact |Q| for a single query (vectorised scan)."""
+        return int(self.intersects_mask(query).sum())
+
+    def select(self, mask_or_indices: np.ndarray) -> "RectSet":
+        """Subset by boolean mask or index array."""
+        return RectSet(self._coords[mask_or_indices], copy=True,
+                       validate=False)
+
+    def sample(
+        self, n: int, rng: np.random.Generator
+    ) -> "RectSet":
+        """Uniform random sample without replacement of ``n`` rectangles."""
+        if n < 0:
+            raise ValueError("sample size must be non-negative")
+        n = min(n, len(self))
+        idx = rng.choice(len(self), size=n, replace=False)
+        return self.select(idx)
+
+    def concat(self, other: "RectSet") -> "RectSet":
+        """Concatenate two rectangle sets."""
+        return RectSet(
+            np.vstack((self._coords, other._coords)), copy=False,
+            validate=False,
+        )

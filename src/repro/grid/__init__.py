@@ -1,0 +1,12 @@
+"""Uniform density grids, integral images, and split-search helpers — the
+compact input representation Min-Skew partitions (paper Section 4)."""
+
+from .density import DensityGrid, square_grid_shape
+from .integral import BlockStats, best_split_of_marginal
+
+__all__ = [
+    "DensityGrid",
+    "square_grid_shape",
+    "BlockStats",
+    "best_split_of_marginal",
+]

@@ -1,0 +1,156 @@
+"""Integral images over density grids: O(1) block sums and SSE.
+
+The spatial skew of a bucket (Definition 4.1) is ``n · variance`` of the
+densities it covers, which equals the *sum of squared errors*
+
+    SSE = Σ d²  -  (Σ d)² / n .
+
+With 2-D prefix sums of ``d`` and ``d²`` (an "integral image" pair), the
+SSE of any axis-aligned cell block is O(1), which is what lets Min-Skew
+evaluate every candidate split of a bucket in O(width + height).
+
+Cumulative-by-one-axis tables additionally give O(width) extraction of a
+block's *marginal* distributions, the quantity the paper's implementation
+actually uses to pick split points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BlockStats:
+    """Prefix-sum tables over a ``(nx, ny)`` value grid.
+
+    All block coordinates are *inclusive* cell index ranges
+    ``[ix0..ix1] × [iy0..iy1]``.
+    """
+
+    def __init__(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValueError("values must be a 2-D array")
+        self.nx, self.ny = values.shape
+        # padded 2-D integral images of d and d^2
+        self._sum = np.zeros((self.nx + 1, self.ny + 1), dtype=np.float64)
+        self._sumsq = np.zeros((self.nx + 1, self.ny + 1), dtype=np.float64)
+        np.cumsum(values, axis=0, out=self._sum[1:, 1:])
+        np.cumsum(self._sum[1:, 1:], axis=1, out=self._sum[1:, 1:])
+        sq = values * values
+        np.cumsum(sq, axis=0, out=self._sumsq[1:, 1:])
+        np.cumsum(self._sumsq[1:, 1:], axis=1, out=self._sumsq[1:, 1:])
+        # cumulative along a single axis, for marginal extraction
+        self._cum_y = np.zeros((self.nx, self.ny + 1), dtype=np.float64)
+        np.cumsum(values, axis=1, out=self._cum_y[:, 1:])
+        self._cum_x = np.zeros((self.nx + 1, self.ny), dtype=np.float64)
+        np.cumsum(values, axis=0, out=self._cum_x[1:, :])
+
+    # ------------------------------------------------------------------
+    # O(1) block aggregates
+    # ------------------------------------------------------------------
+    def block_sum(self, ix0: int, ix1: int, iy0: int, iy1: int) -> float:
+        """Sum of the block's values (O(1))."""
+        s = self._sum
+        return float(
+            s[ix1 + 1, iy1 + 1]
+            - s[ix0, iy1 + 1]
+            - s[ix1 + 1, iy0]
+            + s[ix0, iy0]
+        )
+
+    def block_sumsq(self, ix0: int, ix1: int, iy0: int, iy1: int) -> float:
+        """Sum of the block's squared values (O(1))."""
+        s = self._sumsq
+        return float(
+            s[ix1 + 1, iy1 + 1]
+            - s[ix0, iy1 + 1]
+            - s[ix1 + 1, iy0]
+            + s[ix0, iy0]
+        )
+
+    def block_count(self, ix0: int, ix1: int, iy0: int, iy1: int) -> int:
+        """Number of cells in the block."""
+        return (ix1 - ix0 + 1) * (iy1 - iy0 + 1)
+
+    def block_mean(self, ix0: int, ix1: int, iy0: int, iy1: int) -> float:
+        """Mean cell value of the block (O(1))."""
+        return self.block_sum(ix0, ix1, iy0, iy1) / self.block_count(
+            ix0, ix1, iy0, iy1
+        )
+
+    def block_sse(self, ix0: int, ix1: int, iy0: int, iy1: int) -> float:
+        """Sum of squared deviations of the block's cells from their mean.
+
+        Equals ``n_cells × variance`` — the bucket's contribution to the
+        grouping's spatial skew (Definition 4.1), with grid cells playing
+        the role of points.
+        """
+        n = self.block_count(ix0, ix1, iy0, iy1)
+        total = self.block_sum(ix0, ix1, iy0, iy1)
+        total_sq = self.block_sumsq(ix0, ix1, iy0, iy1)
+        sse = total_sq - (total * total) / n
+        # guard against negative epsilon from float cancellation
+        return max(sse, 0.0)
+
+    def block_variance(self, ix0: int, ix1: int, iy0: int, iy1: int) -> float:
+        """Population variance of the block's cells (O(1))."""
+        n = self.block_count(ix0, ix1, iy0, iy1)
+        return self.block_sse(ix0, ix1, iy0, iy1) / n
+
+    # ------------------------------------------------------------------
+    # marginal distributions
+    # ------------------------------------------------------------------
+    def marginal_x(
+        self, ix0: int, ix1: int, iy0: int, iy1: int
+    ) -> np.ndarray:
+        """Per-column sums of the block: length ``ix1 - ix0 + 1``."""
+        return (
+            self._cum_y[ix0:ix1 + 1, iy1 + 1]
+            - self._cum_y[ix0:ix1 + 1, iy0]
+        )
+
+    def marginal_y(
+        self, ix0: int, ix1: int, iy0: int, iy1: int
+    ) -> np.ndarray:
+        """Per-row sums of the block: length ``iy1 - iy0 + 1``."""
+        return (
+            self._cum_x[ix1 + 1, iy0:iy1 + 1]
+            - self._cum_x[ix0, iy0:iy1 + 1]
+        )
+
+
+def best_split_of_marginal(marginal: np.ndarray) -> "tuple[int, float]":
+    """Best binary split of a 1-D frequency vector by SSE reduction.
+
+    Returns ``(k, reduction)`` where the split puts ``marginal[:k]`` in
+    the left part and ``marginal[k:]`` in the right, ``1 <= k < len``,
+    and ``reduction = SSE(whole) - SSE(left) - SSE(right)`` is maximal.
+    Returns ``(0, 0.0)`` when the vector cannot be split (length < 2).
+
+    Vectorised: prefix sums of ``m`` and ``m²`` evaluate every candidate
+    split simultaneously.
+    """
+    m = np.asarray(marginal, dtype=np.float64)
+    length = m.shape[0]
+    if length < 2:
+        return 0, 0.0
+
+    prefix = np.concatenate(([0.0], np.cumsum(m)))
+    prefix_sq = np.concatenate(([0.0], np.cumsum(m * m)))
+    total = prefix[-1]
+    total_sq = prefix_sq[-1]
+    whole_sse = total_sq - total * total / length
+
+    ks = np.arange(1, length)
+    left_n = ks.astype(np.float64)
+    right_n = (length - ks).astype(np.float64)
+    left_sum = prefix[ks]
+    left_sumsq = prefix_sq[ks]
+    left_sse = left_sumsq - left_sum * left_sum / left_n
+    right_sum = total - left_sum
+    right_sumsq = total_sq - left_sumsq
+    right_sse = right_sumsq - right_sum * right_sum / right_n
+
+    reductions = whole_sse - left_sse - right_sse
+    best = int(np.argmax(reductions))
+    return int(ks[best]), float(max(reductions[best], 0.0))

@@ -1,0 +1,17 @@
+"""Bucket-grouping techniques: the equi-partitionings and index-based
+grouping of paper Section 3, plus the shared :class:`Partitioner` base.
+Min-Skew itself lives in :mod:`repro.core` (it is the contribution)."""
+
+from .base import Partitioner
+from .equi_area import EquiAreaPartitioner
+from .equi_count import EquiCountPartitioner
+from .fixed_grid import FixedGridPartitioner
+from .rtree_partitioner import RTreePartitioner
+
+__all__ = [
+    "Partitioner",
+    "EquiAreaPartitioner",
+    "EquiCountPartitioner",
+    "FixedGridPartitioner",
+    "RTreePartitioner",
+]

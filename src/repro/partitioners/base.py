@@ -1,0 +1,44 @@
+"""Partitioner interface shared by all grouping techniques.
+
+A partitioner turns an input distribution into a list of
+:class:`~repro.core.bucket.Bucket` summaries; the generic
+:class:`~repro.estimators.bucket_estimator.BucketEstimator` then answers
+queries from those buckets.  Keeping "how to group" (this hierarchy)
+separate from "how to estimate" (the bucket formulas) mirrors the paper's
+Section 3.2 split of the two issues.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+from ..core.bucket import Bucket
+from ..geometry import Rect, RectSet
+
+
+class Partitioner(abc.ABC):
+    """Builds a bucket grouping for an input distribution."""
+
+    #: Human-readable technique name used in experiment reports.
+    name: str = "partitioner"
+
+    def __init__(self, n_buckets: int) -> None:
+        if n_buckets < 1:
+            raise ValueError("n_buckets must be at least 1")
+        self.n_buckets = n_buckets
+
+    @abc.abstractmethod
+    def partition(
+        self, rects: RectSet, *, bounds: Optional[Rect] = None
+    ) -> List[Bucket]:
+        """Group ``rects`` into at most ``self.n_buckets`` buckets.
+
+        ``bounds`` overrides the space partitioned (defaults to the
+        dataset MBR).  Implementations must never *exceed* the bucket
+        quota — the paper is explicit that the R-tree technique, for
+        example, stays under it to keep comparisons fair.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_buckets={self.n_buckets})"

@@ -1,0 +1,150 @@
+"""Equi-Area grouping (paper Section 3.3).
+
+"The goal of the Equi-Area grouping is to create buckets whose MBRs have
+the same area. ... We construct the partitioning by starting with a
+single bucket consisting of the MBR of all the input rectangles.  The MBR
+of the bucket is split along the longer dimension into two equal halves.
+Rectangles are grouped into the two halves based on where their centers
+lie.  MBRs are calculated for the two new buckets and once again the
+longest dimension (among the four choices available now) is chosen and
+the corresponding bucket split. ... The recalculation of the MBRs ensures
+that the buckets produced try to approximate the input data distribution
+rather than simply sub-divide the MBR of the whole input."
+
+The one case the paper leaves open — a midpoint split that leaves one
+half empty (possible once MBRs have been recomputed around clustered
+data) — falls back to a median-of-centers split so the construction
+always makes progress; a bucket whose centers coincide on both axes is
+unsplittable and is skipped.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.bucket import Bucket
+from ..geometry import Rect, RectSet
+from .base import Partitioner
+
+
+class _WorkBucket:
+    """A bucket under construction: member indices plus their MBR."""
+
+    __slots__ = ("indices", "mbr", "splittable")
+
+    def __init__(self, indices: np.ndarray, mbr: Rect) -> None:
+        self.indices = indices
+        self.mbr = mbr
+        self.splittable = indices.size >= 2
+
+    def longest_side(self) -> float:
+        return max(self.mbr.width, self.mbr.height)
+
+
+def _member_mbr(rects: RectSet, indices: np.ndarray) -> Rect:
+    coords = rects.coords[indices]
+    return Rect(
+        float(coords[:, 0].min()),
+        float(coords[:, 1].min()),
+        float(coords[:, 2].max()),
+        float(coords[:, 3].max()),
+    )
+
+
+def _median_split_value(values: np.ndarray) -> Optional[float]:
+    """A split value giving two non-empty parts (None if impossible).
+
+    Members with ``value < split`` go left, the rest right; the value is
+    chosen among the distinct coordinates so both sides are non-empty
+    and as balanced as possible.
+    """
+    unique = np.unique(values)
+    if unique.size < 2:
+        return None
+    target = values.size / 2.0
+    below = np.searchsorted(values[np.argsort(values)], unique[1:],
+                            side="left")
+    best = int(np.argmin(np.abs(below - target)))
+    return float(unique[1:][best])
+
+
+class EquiAreaPartitioner(Partitioner):
+    """Recursive halving of the longest bucket side."""
+
+    name = "Equi-Area"
+
+    def partition(
+        self, rects: RectSet, *, bounds: Optional[Rect] = None
+    ) -> List[Bucket]:
+        if len(rects) == 0:
+            raise ValueError("cannot partition an empty distribution")
+        centers = rects.centers()
+        all_indices = np.arange(len(rects), dtype=np.int64)
+        root_mbr = bounds if bounds is not None else rects.mbr()
+        buckets: List[_WorkBucket] = [_WorkBucket(all_indices, root_mbr)]
+
+        while len(buckets) < self.n_buckets:
+            candidate = self._pick_bucket(buckets)
+            if candidate is None:
+                break
+            halves = self._split_bucket(rects, centers, candidate)
+            if halves is None:
+                candidate.splittable = False
+                continue
+            buckets.remove(candidate)
+            buckets.extend(halves)
+
+        return [
+            Bucket.from_members(b.mbr, rects.select(b.indices))
+            for b in buckets
+        ]
+
+    @staticmethod
+    def _pick_bucket(
+        buckets: List[_WorkBucket],
+    ) -> Optional[_WorkBucket]:
+        """The splittable bucket with the longest MBR side."""
+        best = None
+        for b in buckets:
+            if not b.splittable:
+                continue
+            if best is None or b.longest_side() > best.longest_side():
+                best = b
+        return best
+
+    @staticmethod
+    def _split_bucket(
+        rects: RectSet, centers: np.ndarray, bucket: _WorkBucket
+    ) -> Optional[List[_WorkBucket]]:
+        """Split at the midpoint of the longer dimension.
+
+        Falls back to a median-of-centers split when the midpoint leaves
+        one half empty; returns None when the bucket cannot be split.
+        """
+        axis = 0 if bucket.mbr.width >= bucket.mbr.height else 1
+        values = centers[bucket.indices, axis]
+        lo = (bucket.mbr.x1, bucket.mbr.y1)[axis]
+        hi = (bucket.mbr.x2, bucket.mbr.y2)[axis]
+        mid = (lo + hi) / 2.0
+
+        left_mask = values < mid
+        if not left_mask.any() or left_mask.all():
+            # midpoint failed on this axis: try median there, then the
+            # other axis
+            for try_axis in (axis, 1 - axis):
+                vals = centers[bucket.indices, try_axis]
+                split = _median_split_value(vals)
+                if split is not None:
+                    left_mask = vals < split
+                    break
+            else:
+                return None
+
+        left_idx = bucket.indices[left_mask]
+        right_idx = bucket.indices[~left_mask]
+        return [
+            _WorkBucket(left_idx, _member_mbr(rects, left_idx)),
+            _WorkBucket(right_idx, _member_mbr(rects, right_idx)),
+        ]

@@ -1,0 +1,118 @@
+"""Equi-Count grouping (paper Section 3.3).
+
+"In an Equi-Count grouping, the goal is to create buckets containing the
+same number of rectangles. ... The algorithm ... is similar to the
+algorithm for Equi-Area with one difference: the dimension with the
+highest projected rectangle count is chosen for splitting.  The projected
+rectangle count of a dimension d in bucket B is the number of distinct
+centers of all the rectangles in the bucket when projected on dimension
+d."
+
+Each step therefore: (1) picks, over all buckets and both dimensions,
+the (bucket, dimension) pair with the highest projected count; (2) splits
+that bucket at a center coordinate chosen so the two halves hold as close
+to equal numbers of rectangles as possible; (3) recomputes the two member
+MBRs, exactly as Equi-Area does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.bucket import Bucket
+from ..geometry import Rect, RectSet
+from .base import Partitioner
+from .equi_area import _median_split_value, _member_mbr
+
+
+class _WorkBucket:
+    """Bucket under construction with cached projected counts."""
+
+    __slots__ = ("indices", "mbr", "distinct_x", "distinct_y")
+
+    def __init__(
+        self, indices: np.ndarray, mbr: Rect, centers: np.ndarray
+    ) -> None:
+        self.indices = indices
+        self.mbr = mbr
+        self.distinct_x = int(
+            np.unique(centers[indices, 0]).size
+        )
+        self.distinct_y = int(
+            np.unique(centers[indices, 1]).size
+        )
+
+    def best_axis(self) -> Tuple[int, int]:
+        """(projected count, axis) of the more splittable dimension."""
+        if self.distinct_x >= self.distinct_y:
+            return self.distinct_x, 0
+        return self.distinct_y, 1
+
+
+class EquiCountPartitioner(Partitioner):
+    """Median splits along the dimension of highest projected count."""
+
+    name = "Equi-Count"
+
+    def partition(
+        self, rects: RectSet, *, bounds: Optional[Rect] = None
+    ) -> List[Bucket]:
+        if len(rects) == 0:
+            raise ValueError("cannot partition an empty distribution")
+        centers = rects.centers()
+        all_indices = np.arange(len(rects), dtype=np.int64)
+        root_mbr = bounds if bounds is not None else rects.mbr()
+        buckets: List[_WorkBucket] = [
+            _WorkBucket(all_indices, root_mbr, centers)
+        ]
+
+        while len(buckets) < self.n_buckets:
+            picked = self._pick(buckets)
+            if picked is None:
+                break
+            bucket, axis = picked
+            halves = self._split(rects, centers, bucket, axis)
+            if halves is None:
+                # degenerate on the chosen axis; the pick loop will not
+                # offer it again because its distinct count is 1
+                break
+            buckets.remove(bucket)
+            buckets.extend(halves)
+        return [
+            Bucket.from_members(b.mbr, rects.select(b.indices))
+            for b in buckets
+        ]
+
+    @staticmethod
+    def _pick(
+        buckets: List[_WorkBucket],
+    ) -> Optional[Tuple[_WorkBucket, int]]:
+        """Bucket and axis with the globally highest projected count."""
+        best: Optional[Tuple[_WorkBucket, int]] = None
+        best_count = 1  # a projected count of 1 cannot be split
+        for b in buckets:
+            count, axis = b.best_axis()
+            if count > best_count:
+                best, best_count = (b, axis), count
+        return best
+
+    @staticmethod
+    def _split(
+        rects: RectSet,
+        centers: np.ndarray,
+        bucket: _WorkBucket,
+        axis: int,
+    ) -> Optional[List[_WorkBucket]]:
+        values = centers[bucket.indices, axis]
+        split = _median_split_value(values)
+        if split is None:
+            return None
+        left_mask = values < split
+        left_idx = bucket.indices[left_mask]
+        right_idx = bucket.indices[~left_mask]
+        return [
+            _WorkBucket(left_idx, _member_mbr(rects, left_idx), centers),
+            _WorkBucket(right_idx, _member_mbr(rects, right_idx), centers),
+        ]

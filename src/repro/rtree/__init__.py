@@ -1,0 +1,8 @@
+"""From-scratch R*-tree: dynamic inserts with forced reinsertion and the
+R* topological split, plus STR bulk loading and range search/count."""
+
+from .node import Entry, Node
+from .rstar import RStarTree
+from .bulk import str_bulk_load
+
+__all__ = ["Entry", "Node", "RStarTree", "str_bulk_load"]

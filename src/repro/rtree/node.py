@@ -1,0 +1,86 @@
+"""R-tree node structures.
+
+An R*-tree node holds up to ``max_entries`` entries.  In a leaf node each
+entry is an :class:`Entry` wrapping a data rectangle and its integer record
+id; in an internal node each entry wraps a child :class:`Node` and the
+child's MBR.  Keeping both cases in one ``Entry`` type keeps the insert and
+split algorithms free of leaf/internal special cases.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..geometry import Rect
+
+
+class Entry:
+    """One slot of an R-tree node: a rectangle plus payload.
+
+    ``record_id`` is set for leaf entries (and ``child`` is None);
+    ``child`` is set for internal entries (and ``record_id`` is None).
+    """
+
+    __slots__ = ("rect", "record_id", "child")
+
+    def __init__(
+        self,
+        rect: Rect,
+        *,
+        record_id: Optional[int] = None,
+        child: Optional["Node"] = None,
+    ) -> None:
+        if (record_id is None) == (child is None):
+            raise ValueError(
+                "an Entry must carry exactly one of record_id / child"
+            )
+        self.rect = rect
+        self.record_id = record_id
+        self.child = child
+
+    @property
+    def is_leaf_entry(self) -> bool:
+        return self.record_id is not None
+
+    def __repr__(self) -> str:
+        if self.is_leaf_entry:
+            return f"Entry(record={self.record_id}, rect={self.rect})"
+        return f"Entry(child, rect={self.rect})"
+
+
+class Node:
+    """An R-tree node at height ``level`` (0 = leaf)."""
+
+    __slots__ = ("level", "entries", "parent")
+
+    def __init__(self, level: int, entries: Optional[List[Entry]] = None):
+        self.level = level
+        self.entries: List[Entry] = entries if entries is not None else []
+        self.parent: Optional["Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def mbr(self) -> Rect:
+        """MBR covering all entries; requires a non-empty node."""
+        if not self.entries:
+            raise ValueError("empty node has no MBR")
+        x1 = min(e.rect.x1 for e in self.entries)
+        y1 = min(e.rect.y1 for e in self.entries)
+        x2 = max(e.rect.x2 for e in self.entries)
+        y2 = max(e.rect.y2 for e in self.entries)
+        return Rect(x1, y1, x2, y2)
+
+    def add(self, entry: Entry) -> None:
+        """Append an entry, wiring the child's parent pointer."""
+        self.entries.append(entry)
+        if entry.child is not None:
+            entry.child.parent = self
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"internal(level={self.level})"
+        return f"Node({kind}, entries={len(self.entries)})"

@@ -1,0 +1,460 @@
+r"""R*-tree implementation (Beckmann, Kriegel, Schneider, Seeger 1990).
+
+The paper (Section 3.4) uses the R*-tree — "known to be one of the most
+efficient members of the R-tree family" — both as a spatial index and as a
+source of partitionings: the MBRs of internal nodes summarise the data and
+become histogram buckets.  This module is a from-scratch implementation of
+the dynamic R*-tree with:
+
+* **ChooseSubtree** — minimum overlap enlargement when the children are
+  leaves, minimum area enlargement otherwise (ties by area).
+* **Forced reinsertion** — on overflow, the 30 % of entries farthest from
+  the node center are reinserted once per level per insertion.
+* **R\* split** — the split axis minimises the summed margins of all
+  candidate distributions; the distribution minimises overlap, ties by
+  combined area.
+* Range search / range counting, used as one of the exact-count oracles.
+
+The tree stores integer record ids; the caller keeps the actual payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..geometry import Rect, RectSet
+from .node import Entry, Node
+
+
+def _mbr_of_entries(entries: List[Entry]) -> Rect:
+    x1 = min(e.rect.x1 for e in entries)
+    y1 = min(e.rect.y1 for e in entries)
+    x2 = max(e.rect.x2 for e in entries)
+    y2 = max(e.rect.y2 for e in entries)
+    return Rect(x1, y1, x2, y2)
+
+
+class RStarTree:
+    """A dynamic R*-tree over 2-D rectangles.
+
+    Parameters
+    ----------
+    max_entries:
+        Node capacity M (>= 4).  The paper tunes this "branching factor"
+        to control how many buckets an index level yields (Section 5.4).
+    min_fill:
+        Minimum node fill as a fraction of ``max_entries`` (the R*-paper
+        recommends 0.4).
+    reinsert_fraction:
+        Fraction of entries to reinsert on first overflow of a level
+        (the R*-paper recommends 0.3).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 16,
+        *,
+        min_fill: float = 0.4,
+        reinsert_fraction: float = 0.3,
+    ) -> None:
+        if max_entries < 4:
+            raise ValueError("max_entries must be at least 4")
+        if not 0.0 < min_fill <= 0.5:
+            raise ValueError("min_fill must be in (0, 0.5]")
+        if not 0.0 < reinsert_fraction < 1.0:
+            raise ValueError("reinsert_fraction must be in (0, 1)")
+        self.max_entries = max_entries
+        self.min_entries = max(2, int(round(max_entries * min_fill)))
+        self.reinsert_count = max(1, int(round(max_entries
+                                               * reinsert_fraction)))
+        self.root: Node = Node(level=0)
+        self._size = 0
+        # levels that already overflowed during the current insertion
+        # (forced reinsertion happens only once per level per insertion)
+        self._overflowed_levels: set = set()
+        #: Node-access accounting (one node ≈ one disk page in the
+        #: paper's Section 3.5 cost model): reads are nodes visited
+        #: while descending or searching, writes are node
+        #: creations/modifications from splits and MBR adjustments.
+        self.node_reads = 0
+        self.node_writes = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels (a single leaf root has height 1)."""
+        return self.root.level + 1
+
+    def insert(self, rect: Rect, record_id: int) -> None:
+        """Insert one data rectangle with its record id."""
+        self._overflowed_levels = set()
+        self._insert_entry(Entry(rect, record_id=record_id), level=0)
+        self._size += 1
+
+    def extend(self, rects: Iterable[Rect], start_id: int = 0) -> None:
+        """Insert many rectangles, assigning consecutive record ids."""
+        for offset, rect in enumerate(rects):
+            self.insert(rect, start_id + offset)
+
+    @classmethod
+    def from_rectset(
+        cls, rects: RectSet, max_entries: int = 16, **kwargs
+    ) -> "RStarTree":
+        """Build by repeated insertion from a :class:`RectSet`."""
+        tree = cls(max_entries, **kwargs)
+        for i in range(len(rects)):
+            row = rects.coords[i]
+            tree.insert(
+                Rect(float(row[0]), float(row[1]), float(row[2]),
+                     float(row[3])),
+                i,
+            )
+        return tree
+
+    def search(self, query: Rect) -> List[int]:
+        """Record ids of all data rectangles intersecting ``query``."""
+        result: List[int] = []
+        if self._size == 0:
+            return result
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for e in node.entries:
+                    if e.rect.intersects(query):
+                        result.append(e.record_id)  # type: ignore[arg-type]
+            else:
+                for e in node.entries:
+                    if e.rect.intersects(query):
+                        stack.append(e.child)  # type: ignore[arg-type]
+        return result
+
+    def count(self, query: Rect) -> int:
+        """Exact number of data rectangles intersecting ``query``.
+
+        Subtrees whose MBR is fully contained in the query are counted
+        wholesale without descending, which makes large-query counting
+        (QSize 25 % in the paper's workloads) far cheaper than ``search``.
+        """
+        if self._size == 0:
+            return 0
+        total = 0
+        stack: List[Tuple[Node, bool]] = [(self.root, False)]
+        while stack:
+            node, contained = stack.pop()
+            if contained:
+                total += self._subtree_size(node)
+                continue
+            if node.is_leaf:
+                for e in node.entries:
+                    if e.rect.intersects(query):
+                        total += 1
+            else:
+                for e in node.entries:
+                    if not e.rect.intersects(query):
+                        continue
+                    stack.append(
+                        (e.child, query.contains_rect(e.rect))
+                    )  # type: ignore[arg-type]
+        return total
+
+    def _subtree_size(self, node: Node) -> int:
+        if node.is_leaf:
+            return len(node.entries)
+        return sum(self._subtree_size(e.child) for e in node.entries)
+
+    # ------------------------------------------------------------------
+    # traversal helpers (used by the partitioner and tests)
+    # ------------------------------------------------------------------
+    def iter_nodes(self) -> Iterator[Node]:
+        """All nodes, pre-order."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.extend(e.child for e in node.entries)
+
+    def nodes_at_level(self, level: int) -> List[Node]:
+        """All nodes whose ``level`` equals the argument (0 = leaves)."""
+        return [n for n in self.iter_nodes() if n.level == level]
+
+    def node_count(self) -> int:
+        """Total number of nodes in the tree."""
+        return sum(1 for _ in self.iter_nodes())
+
+    def check_invariants(self, *, allow_underfull: bool = False) -> None:
+        """Validate structural invariants; raises AssertionError if broken.
+
+        Checked: entry counts within [min, max] (root exempt), child MBR
+        containment, uniform leaf depth, and the recorded size.  Bulk-loaded
+        (STR) trees may legitimately contain one underfull node per level;
+        pass ``allow_underfull=True`` for those.
+        """
+        leaf_levels = set()
+        count = 0
+        stack: List[Tuple[Node, Optional[Rect]]] = [(self.root, None)]
+        while stack:
+            node, parent_mbr = stack.pop()
+            if node is not self.root and not allow_underfull:
+                assert len(node.entries) >= self.min_entries, (
+                    f"underfull node: {len(node.entries)} < "
+                    f"{self.min_entries}"
+                )
+            assert len(node.entries) <= self.max_entries, "overfull node"
+            if node.entries and parent_mbr is not None:
+                assert parent_mbr.contains_rect(node.mbr()), (
+                    "parent entry MBR does not cover child"
+                )
+            if node.is_leaf:
+                leaf_levels.add(node.level)
+                count += len(node.entries)
+            else:
+                for e in node.entries:
+                    assert e.child is not None
+                    assert e.child.parent is node, "broken parent pointer"
+                    assert e.child.level == node.level - 1, (
+                        "child level mismatch"
+                    )
+                    assert e.rect.contains_rect(e.child.mbr()), (
+                        "stale entry MBR"
+                    )
+                    stack.append((e.child, e.rect))
+        assert leaf_levels <= {0}, f"leaves at levels {leaf_levels}"
+        assert count == self._size, f"size mismatch: {count} != {self._size}"
+
+    # ------------------------------------------------------------------
+    # insertion internals
+    # ------------------------------------------------------------------
+    def _insert_entry(self, entry: Entry, level: int) -> None:
+        node = self._choose_subtree(entry.rect, level)
+        node.add(entry)
+        if len(node.entries) > self.max_entries:
+            self._overflow_treatment(node)
+        else:
+            self._adjust_path_mbrs(node)
+
+    def reset_io_counters(self) -> None:
+        """Zero the node read/write accounting."""
+        self.node_reads = 0
+        self.node_writes = 0
+
+    def _choose_subtree(self, rect: Rect, level: int) -> Node:
+        node = self.root
+        self.node_reads += 1
+        while node.level > level:
+            self.node_reads += 1
+            if node.level == level + 1 or node.entries[0].child.is_leaf:
+                entry = self._pick_min_overlap_child(node, rect)
+            else:
+                entry = self._pick_min_enlargement_child(node, rect)
+            node = entry.child  # type: ignore[assignment]
+        return node
+
+    @staticmethod
+    def _pick_min_enlargement_child(node: Node, rect: Rect) -> Entry:
+        best = None
+        best_key = None
+        for e in node.entries:
+            key = (e.rect.enlargement(rect), e.rect.area)
+            if best_key is None or key < best_key:
+                best, best_key = e, key
+        return best  # type: ignore[return-value]
+
+    #: ChooseSubtree overlap checks consider only this many candidates
+    #: (the R*-paper's "nearly minimum overlap cost" optimisation for
+    #: large node sizes).
+    CHOOSE_SUBTREE_CANDIDATES = 32
+
+    @staticmethod
+    def _pick_min_overlap_child(node: Node, rect: Rect) -> Entry:
+        """R* rule for the level above the leaves: minimise overlap
+        enlargement, ties by area enlargement, then by area.
+
+        For large nodes only the 32 entries with the least area
+        enlargement are examined, as the R*-paper prescribes."""
+        entries = node.entries
+        if len(entries) > RStarTree.CHOOSE_SUBTREE_CANDIDATES:
+            candidates = sorted(
+                entries, key=lambda e: e.rect.enlargement(rect)
+            )[: RStarTree.CHOOSE_SUBTREE_CANDIDATES]
+        else:
+            candidates = entries
+        best = None
+        best_key = None
+        for e in candidates:
+            grown = e.rect.union(rect)
+            overlap_before = 0.0
+            overlap_after = 0.0
+            for other in entries:
+                if other is e:
+                    continue
+                overlap_before += e.rect.intersection_area(other.rect)
+                overlap_after += grown.intersection_area(other.rect)
+            key = (
+                overlap_after - overlap_before,
+                e.rect.enlargement(rect),
+                e.rect.area,
+            )
+            if best_key is None or key < best_key:
+                best, best_key = e, key
+        return best  # type: ignore[return-value]
+
+    def _overflow_treatment(self, node: Node) -> None:
+        if node is not self.root and node.level not in \
+                self._overflowed_levels:
+            self._overflowed_levels.add(node.level)
+            self._reinsert(node)
+        else:
+            self._split(node)
+
+    def _reinsert(self, node: Node) -> None:
+        """Forced reinsertion: remove the p entries whose centers are
+        farthest from the node's center and insert them again ("far
+        reinsert"), which lets the tree escape bad early placements."""
+        center = node.mbr().center
+        def dist2(e: Entry) -> float:
+            ecx, ecy = e.rect.center
+            return (ecx - center[0]) ** 2 + (ecy - center[1]) ** 2
+
+        node.entries.sort(key=dist2)
+        spill = node.entries[-self.reinsert_count:]
+        del node.entries[-self.reinsert_count:]
+        self._adjust_path_mbrs(node)
+        for e in spill:
+            self._insert_entry(e, node.level)
+
+    def _split(self, node: Node) -> None:
+        # one node rewritten, one created, plus the parent update
+        self.node_writes += 3
+        group_a, group_b = self._rstar_split_groups(node.entries)
+        if node is self.root:
+            new_root = Node(level=node.level + 1)
+            left = Node(level=node.level, entries=group_a)
+            right = Node(level=node.level, entries=group_b)
+            for child in (left, right):
+                for e in child.entries:
+                    if e.child is not None:
+                        e.child.parent = child
+                new_root.add(Entry(child.mbr(), child=child))
+            self.root = new_root
+            return
+
+        parent = node.parent
+        assert parent is not None
+        node.entries = group_a
+        for e in node.entries:
+            if e.child is not None:
+                e.child.parent = node
+        sibling = Node(level=node.level, entries=group_b)
+        for e in sibling.entries:
+            if e.child is not None:
+                e.child.parent = sibling
+        # refresh this node's entry in the parent, then add the sibling
+        for pe in parent.entries:
+            if pe.child is node:
+                pe.rect = node.mbr()
+                break
+        parent.add(Entry(sibling.mbr(), child=sibling))
+        if len(parent.entries) > self.max_entries:
+            self._overflow_treatment(parent)
+        else:
+            self._adjust_path_mbrs(parent)
+
+    def _rstar_split_groups(
+        self, entries: List[Entry]
+    ) -> Tuple[List[Entry], List[Entry]]:
+        """The R* topological split.
+
+        Returns the two entry groups.  Axis choice: minimum summed margin
+        over all candidate distributions.  Distribution choice on that
+        axis: minimum overlap area, ties broken by minimum combined area.
+
+        Prefix/suffix MBR arrays make every candidate distribution O(1)
+        to evaluate, so a split costs O(M log M) for the sorts instead
+        of the naive O(M²) — essential at the large branching factors
+        the partitioner tunes for (Section 5.4).
+        """
+        m = self.min_entries
+        best_axis = None
+        best_axis_margin = None
+        for axis in (0, 1):  # 0 = x, 1 = y
+            margin_sum = 0.0
+            for sorted_entries in self._axis_sortings(entries, axis):
+                prefix, suffix = self._running_mbrs(sorted_entries)
+                for k in range(m, len(entries) - m + 1):
+                    margin_sum += (
+                        prefix[k - 1].margin + suffix[k].margin
+                    )
+            if best_axis_margin is None or margin_sum < best_axis_margin:
+                best_axis, best_axis_margin = axis, margin_sum
+
+        best_groups = None
+        best_key = None
+        for sorted_entries in self._axis_sortings(entries, best_axis):
+            prefix, suffix = self._running_mbrs(sorted_entries)
+            for k in range(m, len(entries) - m + 1):
+                mbr_l = prefix[k - 1]
+                mbr_r = suffix[k]
+                key = (
+                    mbr_l.intersection_area(mbr_r),
+                    mbr_l.area + mbr_r.area,
+                )
+                if best_key is None or key < best_key:
+                    best_groups = (
+                        list(sorted_entries[:k]),
+                        list(sorted_entries[k:]),
+                    )
+                    best_key = key
+        assert best_groups is not None
+        return best_groups
+
+    @staticmethod
+    def _running_mbrs(
+        entries: List[Entry],
+    ) -> Tuple[List[Rect], List[Rect]]:
+        """``prefix[i]`` = MBR of entries[:i+1]; ``suffix[i]`` of
+        entries[i:]."""
+        n = len(entries)
+        prefix: List[Rect] = [entries[0].rect] * n
+        running = entries[0].rect
+        for i in range(1, n):
+            running = running.union(entries[i].rect)
+            prefix[i] = running
+        suffix: List[Rect] = [entries[-1].rect] * n
+        running = entries[-1].rect
+        for i in range(n - 2, -1, -1):
+            running = running.union(entries[i].rect)
+            suffix[i] = running
+        return prefix, suffix
+
+    @staticmethod
+    def _axis_sortings(
+        entries: List[Entry], axis: int
+    ) -> Tuple[List[Entry], List[Entry]]:
+        """The two R* sortings of one axis: by lower then by upper value."""
+        if axis == 0:
+            by_lower = sorted(entries, key=lambda e: (e.rect.x1, e.rect.x2))
+            by_upper = sorted(entries, key=lambda e: (e.rect.x2, e.rect.x1))
+        else:
+            by_lower = sorted(entries, key=lambda e: (e.rect.y1, e.rect.y2))
+            by_upper = sorted(entries, key=lambda e: (e.rect.y2, e.rect.y1))
+        return by_lower, by_upper
+
+    def _adjust_path_mbrs(self, node: Node) -> None:
+        """Tighten the entry MBRs on the path from ``node`` to the root."""
+        self.node_writes += 1  # the touched node itself
+        current = node
+        while current.parent is not None:
+            self.node_writes += 1
+            parent = current.parent
+            for pe in parent.entries:
+                if pe.child is current:
+                    pe.rect = current.mbr()
+                    break
+            current = parent

@@ -1,0 +1,24 @@
+"""Paged storage with I/O accounting and external-memory builders —
+the substrate that turns Section 3.5's disk-access arguments into
+measurable numbers."""
+
+from .buffer import BufferPool
+from .external import (
+    external_density_grid,
+    external_mbr,
+    external_min_skew,
+    external_reservoir_sample,
+    multipass_equi_area,
+)
+from .pagefile import DEFAULT_PAGE_CAPACITY, PageFile
+
+__all__ = [
+    "PageFile",
+    "DEFAULT_PAGE_CAPACITY",
+    "BufferPool",
+    "external_mbr",
+    "external_density_grid",
+    "external_min_skew",
+    "external_reservoir_sample",
+    "multipass_equi_area",
+]

@@ -1,0 +1,57 @@
+"""An LRU buffer pool over a :class:`~repro.storage.pagefile.PageFile`.
+
+Construction algorithms whose access pattern has locality (the R-tree's
+repeated root-to-leaf descents, for example) touch far fewer *distinct*
+pages than raw accesses; the buffer pool separates logical accesses from
+actual page fetches, exactly as a database buffer manager would.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from .pagefile import PageFile
+
+
+class BufferPool:
+    """Least-recently-used page cache with hit/miss accounting."""
+
+    def __init__(self, pagefile: PageFile, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("buffer capacity must be at least 1")
+        self.pagefile = pagefile
+        self.capacity = capacity
+        self._cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def read_page(self, index: int) -> np.ndarray:
+        """Fetch a page through the cache."""
+        cached = self._cache.get(index)
+        if cached is not None:
+            self.hits += 1
+            self._cache.move_to_end(index)
+            return cached
+        self.misses += 1
+        page = self.pagefile.read_page(index)
+        self._cache[index] = page
+        if len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+        return page
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferPool(capacity={self.capacity}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

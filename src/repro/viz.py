@@ -1,0 +1,109 @@
+"""ASCII visualisation of datasets and partitionings.
+
+The paper's Figures 1–7 are pictures of datasets, density surfaces, and
+bucket layouts.  In a terminal-only reproduction we render the same
+artifacts as character grids: density heat-maps (Figures 1 and 5) and
+bucket-boundary overlays (Figures 2, 3, 4, and 7).  The y axis points up,
+matching the figures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .core.bucket import Bucket
+from .geometry import Rect, RectSet
+from .grid import DensityGrid
+
+#: Density ramp from empty to densest.
+DENSITY_RAMP = " .:-=+*#%@"
+
+
+def render_density(
+    grid: DensityGrid, *, ramp: str = DENSITY_RAMP
+) -> str:
+    """Heat-map of a density grid (dataset overview, Figures 1/5).
+
+    Cell density is mapped linearly onto ``ramp``; rows are printed top
+    (max y) to bottom.
+    """
+    if not ramp:
+        raise ValueError("ramp must contain at least one character")
+    d = grid.densities
+    top = d.max()
+    if top <= 0:
+        normalised = np.zeros_like(d)
+    else:
+        normalised = d / top
+    indices = np.minimum(
+        (normalised * len(ramp)).astype(int), len(ramp) - 1
+    )
+    lines = []
+    for iy in range(grid.ny - 1, -1, -1):
+        lines.append("".join(ramp[indices[ix, iy]]
+                             for ix in range(grid.nx)))
+    return "\n".join(lines)
+
+
+def render_dataset(
+    rects: RectSet, *, width: int = 70, height: int = 32
+) -> str:
+    """Heat-map of a dataset at terminal resolution (Figure 1)."""
+    grid = DensityGrid.from_rects(rects, width, height)
+    return render_density(grid)
+
+
+def render_partition(
+    buckets: Sequence[Bucket],
+    bounds: Optional[Rect] = None,
+    *,
+    width: int = 70,
+    height: int = 32,
+) -> str:
+    """Bucket-boundary overlay (Figures 2/3/4/7).
+
+    Draws the border of every bucket box onto a character canvas:
+    corners ``+``, horizontal edges ``-``, vertical edges ``|``.  Where
+    boxes abut, their borders merge — the layout of the partitioning is
+    what the paper's figures convey.
+    """
+    if not buckets:
+        raise ValueError("no buckets to render")
+    if bounds is None:
+        x1 = min(b.bbox.x1 for b in buckets)
+        y1 = min(b.bbox.y1 for b in buckets)
+        x2 = max(b.bbox.x2 for b in buckets)
+        y2 = max(b.bbox.y2 for b in buckets)
+        bounds = Rect(x1, y1, x2, y2)
+    if bounds.area <= 0:
+        raise ValueError("degenerate bounds")
+
+    canvas = np.full((height, width), " ", dtype="<U1")
+
+    def col(x: float) -> int:
+        t = (x - bounds.x1) / bounds.width
+        return int(np.clip(round(t * (width - 1)), 0, width - 1))
+
+    def row(y: float) -> int:
+        t = (y - bounds.y1) / bounds.height
+        return int(np.clip(round((1.0 - t) * (height - 1)), 0,
+                           height - 1))
+
+    for bucket in buckets:
+        box = bucket.bbox
+        c1, c2 = col(box.x1), col(box.x2)
+        r_top, r_bot = row(box.y2), row(box.y1)
+        for c in range(c1, c2 + 1):
+            for r in (r_top, r_bot):
+                if canvas[r, c] == " ":
+                    canvas[r, c] = "-"
+        for r in range(r_top, r_bot + 1):
+            for c in (c1, c2):
+                if canvas[r, c] in (" ", "-"):
+                    canvas[r, c] = "|" if canvas[r, c] == " " else "+"
+        for r in (r_top, r_bot):
+            for c in (c1, c2):
+                canvas[r, c] = "+"
+    return "\n".join("".join(line) for line in canvas)

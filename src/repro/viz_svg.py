@@ -1,0 +1,219 @@
+"""SVG rendering of datasets, density surfaces, and partitionings.
+
+The ASCII renders in :mod:`repro.viz` are for terminals; this module
+writes standalone SVG files for reports and papers — the closest
+equivalent of the paper's Figures 1–7 this repository can produce
+without a plotting dependency.  The SVG is hand-assembled (no external
+libraries) and deliberately simple: rectangles, lines, and text.
+
+Typical use::
+
+    from repro.viz_svg import partition_svg, density_svg
+    svg = partition_svg(buckets, data.mbr(), title="Min-Skew, 50 buckets")
+    Path("fig7.svg").write_text(svg)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+from .core.bucket import Bucket
+from .geometry import Rect, RectSet
+from .grid import DensityGrid
+
+#: Canvas size in pixels (content area; margins added around it).
+DEFAULT_CANVAS = 480
+MARGIN = 24
+TITLE_HEIGHT = 22
+
+
+class _SvgCanvas:
+    """Accumulates SVG elements in data coordinates mapped to pixels."""
+
+    def __init__(
+        self, bounds: Rect, size: int, title: Optional[str]
+    ) -> None:
+        if bounds.area <= 0:
+            raise ValueError("cannot render degenerate bounds")
+        self.bounds = bounds
+        aspect = bounds.height / bounds.width
+        self.content_w = size
+        self.content_h = max(1, int(round(size * aspect)))
+        self.title = title
+        self.header = TITLE_HEIGHT if title else 0
+        self.width = self.content_w + 2 * MARGIN
+        self.height = self.content_h + 2 * MARGIN + self.header
+        self._elements: List[str] = []
+
+    # data -> pixel coordinates (y flipped: SVG y grows downward)
+    def px(self, x: float) -> float:
+        t = (x - self.bounds.x1) / self.bounds.width
+        return MARGIN + t * self.content_w
+
+    def py(self, y: float) -> float:
+        t = (y - self.bounds.y1) / self.bounds.height
+        return MARGIN + self.header + (1.0 - t) * self.content_h
+
+    def add_rect(
+        self,
+        rect: Rect,
+        *,
+        fill: str = "none",
+        stroke: str = "#333333",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        x = self.px(rect.x1)
+        y = self.py(rect.y2)
+        w = max(self.px(rect.x2) - x, 0.5)
+        h = max(self.py(rect.y1) - y, 0.5)
+        self._elements.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" '
+            f'height="{h:.2f}" fill="{fill}" stroke="{stroke}" '
+            f'stroke-width="{stroke_width}" opacity="{opacity}"/>'
+        )
+
+    def add_label(self, x: float, y: float, text: str,
+                  size: int = 10) -> None:
+        self._elements.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'font-family="sans-serif" fill="#222222">'
+            f"{escape(text)}</text>"
+        )
+
+    def render(self) -> str:
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">',
+            f'<rect width="{self.width}" height="{self.height}" '
+            f'fill="white"/>',
+        ]
+        if self.title:
+            parts.append(
+                f'<text x="{MARGIN}" y="{MARGIN - 8 + TITLE_HEIGHT}" '
+                f'font-size="13" font-family="sans-serif" '
+                f'font-weight="bold" fill="#111111">'
+                f"{escape(self.title)}</text>"
+            )
+        # frame around the content area
+        frame = Rect(self.bounds.x1, self.bounds.y1, self.bounds.x2,
+                     self.bounds.y2)
+        parts.extend(self._elements)
+        x = self.px(frame.x1)
+        y = self.py(frame.y2)
+        parts.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" '
+            f'width="{self.content_w}" height="{self.content_h}" '
+            f'fill="none" stroke="#000000" stroke-width="1"/>'
+        )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+
+def _heat_color(value: float) -> str:
+    """Map a normalised density in [0, 1] to a white→red hex colour."""
+    v = float(np.clip(value, 0.0, 1.0))
+    # white (255,255,255) -> dark red (165, 0, 38)
+    r = int(round(255 - v * (255 - 165)))
+    g = int(round(255 - v * 255))
+    b = int(round(255 - v * (255 - 38)))
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def dataset_svg(
+    rects: RectSet,
+    *,
+    size: int = DEFAULT_CANVAS,
+    title: Optional[str] = None,
+    max_draw: int = 20_000,
+    seed: int = 0,
+) -> str:
+    """Draw the rectangles themselves (Figure 1 style).
+
+    At most ``max_draw`` rectangles are drawn (a random subset beyond
+    that), since SVG viewers struggle past a few tens of thousands of
+    elements.
+    """
+    if len(rects) == 0:
+        raise ValueError("nothing to draw")
+    bounds = rects.mbr()
+    canvas = _SvgCanvas(bounds, size, title)
+    if len(rects) > max_draw:
+        rng = np.random.default_rng(seed)
+        subset = rects.sample(max_draw, rng)
+    else:
+        subset = rects
+    for rect in subset:
+        canvas.add_rect(rect, stroke="#1f77b4", stroke_width=0.4,
+                        opacity=0.5)
+    return canvas.render()
+
+
+def density_svg(
+    grid: DensityGrid,
+    *,
+    size: int = DEFAULT_CANVAS,
+    title: Optional[str] = None,
+) -> str:
+    """Heat-map of a density grid (Figure 5 style)."""
+    canvas = _SvgCanvas(grid.bounds, size, title)
+    top = grid.densities.max()
+    if top <= 0:
+        top = 1.0
+    for ix in range(grid.nx):
+        for iy in range(grid.ny):
+            value = grid.densities[ix, iy] / top
+            if value <= 0:
+                continue
+            canvas.add_rect(
+                grid.cell_rect(ix, iy),
+                fill=_heat_color(value),
+                stroke="none",
+                stroke_width=0.0,
+            )
+    return canvas.render()
+
+
+def partition_svg(
+    buckets: Sequence[Bucket],
+    bounds: Optional[Rect] = None,
+    *,
+    size: int = DEFAULT_CANVAS,
+    title: Optional[str] = None,
+    shade_by_count: bool = True,
+    annotate: bool = False,
+) -> str:
+    """Bucket-layout figure (Figures 2/3/4/7 style).
+
+    Bucket boxes are outlined; with ``shade_by_count`` the fill encodes
+    each bucket's rectangle count on the heat scale, which makes the
+    density-following layouts immediately visible.  ``annotate`` adds
+    the count as a small label (useful below ~60 buckets).
+    """
+    if not buckets:
+        raise ValueError("no buckets to draw")
+    if bounds is None:
+        bounds = Rect(
+            min(b.bbox.x1 for b in buckets),
+            min(b.bbox.y1 for b in buckets),
+            max(b.bbox.x2 for b in buckets),
+            max(b.bbox.y2 for b in buckets),
+        )
+    canvas = _SvgCanvas(bounds, size, title)
+    top = max((b.count for b in buckets), default=1) or 1
+    for b in buckets:
+        fill = (
+            _heat_color(0.85 * b.count / top) if shade_by_count
+            else "none"
+        )
+        canvas.add_rect(b.bbox, fill=fill, stroke="#333333",
+                        stroke_width=1.0, opacity=0.9)
+        if annotate and b.count > 0:
+            cx, cy = b.bbox.center
+            canvas.add_label(canvas.px(cx) - 8, canvas.py(cy) + 3,
+                             str(b.count), size=8)
+    return canvas.render()

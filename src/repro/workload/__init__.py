@@ -1,0 +1,17 @@
+"""Query workload generators matching the paper's Section 5.2 model."""
+
+from .queries import (
+    CENTER_MODES,
+    PAPER_N_QUERIES,
+    PAPER_QSIZES,
+    point_queries,
+    range_queries,
+)
+
+__all__ = [
+    "range_queries",
+    "point_queries",
+    "PAPER_QSIZES",
+    "PAPER_N_QUERIES",
+    "CENTER_MODES",
+]

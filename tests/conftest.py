@@ -1,0 +1,50 @@
+"""Shared fixtures: small deterministic datasets and workloads."""
+
+import numpy as np
+import pytest
+
+from repro.data import charminar, nj_road_like, uniform_rects
+from repro.geometry import Rect, RectSet
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_uniform():
+    """2 000 identical rectangles placed uniformly."""
+    return uniform_rects(2_000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_charminar():
+    """A scaled-down Charminar set (4 000 rects)."""
+    return charminar(4_000, seed=22)
+
+
+@pytest.fixture(scope="session")
+def small_nj_road():
+    """A scaled-down simulated NJ-Road set (8 000 segment MBRs)."""
+    return nj_road_like(8_000, seed=33)
+
+
+@pytest.fixture(scope="session")
+def mixed_rects(rng):
+    """A messy mixture: varied sizes, includes degenerate rectangles."""
+    n = 1_500
+    cx = rng.uniform(0, 1_000, n)
+    cy = rng.uniform(0, 1_000, n)
+    w = rng.uniform(0, 80, n)
+    h = rng.uniform(0, 80, n)
+    w[:50] = 0.0  # vertical segments
+    h[50:100] = 0.0  # horizontal segments
+    w[100:150] = 0.0
+    h[100:150] = 0.0  # points
+    return RectSet.from_centers(cx, cy, w, h)
+
+
+@pytest.fixture()
+def unit_square():
+    return Rect(0.0, 0.0, 1.0, 1.0)

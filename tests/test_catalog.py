@@ -1,0 +1,127 @@
+"""Tests for the statistics catalog and summary serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import (
+    StatisticsCatalog,
+    buckets_from_json,
+    buckets_to_json,
+    pack_buckets,
+    quantization_error,
+    unpack_buckets,
+)
+from repro.core import Bucket, MinSkewPartitioner
+from repro.estimators import BucketEstimator
+from repro.geometry import Rect
+from repro.workload import range_queries
+
+
+@pytest.fixture()
+def estimator(small_nj_road):
+    return BucketEstimator.build(
+        MinSkewPartitioner(25, n_regions=400), small_nj_road
+    )
+
+
+class TestBinaryFormat:
+    def test_size_matches_paper_accounting(self, estimator):
+        blob = pack_buckets(estimator.buckets)
+        # 8 words x 4 bytes per bucket, + magic + count header
+        assert len(blob) == 8 + 25 * 32
+
+    def test_roundtrip(self, estimator):
+        restored = unpack_buckets(pack_buckets(estimator.buckets))
+        assert len(restored) == len(estimator.buckets)
+        for a, b in zip(estimator.buckets, restored):
+            assert a.count == b.count
+            assert a.bbox.as_tuple() == pytest.approx(
+                b.bbox.as_tuple(), rel=1e-6
+            )
+            assert a.avg_width == pytest.approx(b.avg_width, rel=1e-6)
+
+    def test_empty_list(self):
+        assert unpack_buckets(pack_buckets([])) == []
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            unpack_buckets(b"XXXX" + b"\x00" * 8)
+
+    def test_truncated(self):
+        blob = pack_buckets([Bucket(Rect(0, 0, 1, 1), 3)])
+        with pytest.raises(ValueError, match="bytes"):
+            unpack_buckets(blob[:-4])
+        with pytest.raises(ValueError, match="truncated"):
+            unpack_buckets(b"RS")
+
+    def test_estimates_survive_roundtrip(self, estimator,
+                                         small_nj_road):
+        restored = BucketEstimator(
+            unpack_buckets(pack_buckets(estimator.buckets))
+        )
+        queries = range_queries(small_nj_road, 0.1, 50, seed=5)
+        np.testing.assert_allclose(
+            restored.estimate_many(queries),
+            estimator.estimate_many(queries),
+            rtol=1e-4,
+        )
+
+    def test_quantization_error_small(self, estimator):
+        assert quantization_error(estimator.buckets) < 1e-6
+
+
+class TestJson:
+    def test_roundtrip(self, estimator):
+        restored = buckets_from_json(buckets_to_json(estimator.buckets))
+        assert [b.count for b in restored] == \
+            [b.count for b in estimator.buckets]
+
+    def test_not_a_list(self):
+        with pytest.raises(ValueError, match="array"):
+            buckets_from_json('{"a": 1}')
+
+    def test_bad_record(self):
+        with pytest.raises(ValueError, match="index 0"):
+            buckets_from_json('[{"count": 3}]')
+
+
+class TestCatalog:
+    def test_store_load(self, tmp_path, estimator, small_nj_road):
+        catalog = StatisticsCatalog(tmp_path)
+        written = catalog.store("roads.geom", estimator)
+        assert written == 8 + 25 * 32
+        loaded = catalog.load("roads.geom")
+        assert loaded.name == "roads.geom"
+        queries = range_queries(small_nj_road, 0.1, 20, seed=6)
+        np.testing.assert_allclose(
+            loaded.estimate_many(queries),
+            estimator.estimate_many(queries),
+            rtol=1e-4,
+        )
+
+    def test_names_and_sizes(self, tmp_path, estimator):
+        catalog = StatisticsCatalog(tmp_path)
+        catalog.store("a", estimator)
+        catalog.store("b", estimator)
+        assert catalog.names() == ["a", "b"]
+        assert set(catalog.sizes_bytes()) == {"a", "b"}
+
+    def test_missing(self, tmp_path):
+        catalog = StatisticsCatalog(tmp_path)
+        with pytest.raises(KeyError):
+            catalog.load("nope")
+        with pytest.raises(KeyError):
+            catalog.drop("nope")
+
+    def test_drop(self, tmp_path, estimator):
+        catalog = StatisticsCatalog(tmp_path)
+        catalog.store("a", estimator)
+        catalog.drop("a")
+        assert catalog.names() == []
+
+    def test_invalid_name(self, tmp_path):
+        catalog = StatisticsCatalog(tmp_path)
+        with pytest.raises(ValueError):
+            catalog._path("../escape")
+        with pytest.raises(ValueError):
+            catalog._path("")

@@ -1,0 +1,185 @@
+"""Tests for buckets and the uniformity-assumption formulas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Bucket,
+    assign_by_center,
+    buckets_from_assignment,
+    estimate_many,
+)
+from repro.geometry import Rect, RectSet
+
+
+def uniform_bucket(n=1_000, side=10.0, space=1_000.0, seed=0):
+    gen = np.random.default_rng(seed)
+    rs = RectSet.from_centers(
+        gen.uniform(side / 2, space - side / 2, n),
+        gen.uniform(side / 2, space - side / 2, n),
+        np.full(n, side),
+        np.full(n, side),
+    )
+    return Bucket.from_members(Rect(0, 0, space, space), rs), rs
+
+
+class TestBucketConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Bucket(Rect(0, 0, 1, 1), -1)
+        with pytest.raises(ValueError):
+            Bucket(Rect(0, 0, 1, 1), 1, avg_width=-2.0)
+
+    def test_from_members(self):
+        rs = RectSet(np.array([[0.0, 0.0, 2.0, 2.0],
+                               [1.0, 1.0, 5.0, 7.0]]))
+        b = Bucket.from_members(Rect(0, 0, 10, 10), rs)
+        assert b.count == 2
+        assert b.avg_width == 3.0
+        assert b.avg_height == 4.0
+        assert b.avg_density == pytest.approx((4 + 24) / 100.0)
+
+    def test_from_empty_members(self):
+        b = Bucket.from_members(Rect(0, 0, 1, 1), RectSet.empty())
+        assert b.count == 0
+        assert b.estimate(Rect(0, 0, 1, 1)) == 0.0
+
+
+class TestEstimation:
+    def test_full_cover_returns_count(self):
+        b, _ = uniform_bucket()
+        assert b.estimate(Rect(0, 0, 1_000, 1_000)) == pytest.approx(
+            1_000
+        )
+
+    def test_oversized_query_clamped(self):
+        b, _ = uniform_bucket()
+        assert b.estimate(Rect(-500, -500, 2_000, 2_000)) == \
+            pytest.approx(1_000)
+
+    def test_disjoint_far_query_zero(self):
+        b, _ = uniform_bucket()
+        assert b.estimate(Rect(5_000, 5_000, 6_000, 6_000)) == 0.0
+
+    def test_uniform_accuracy_range(self):
+        """On truly uniform data the formula is close to the truth."""
+        b, rs = uniform_bucket(n=20_000, seed=1)
+        gen = np.random.default_rng(2)
+        for _ in range(10):
+            x, y = gen.uniform(100, 700, 2)
+            q = Rect(x, y, x + 200, y + 200)
+            true = rs.count_intersecting(q)
+            assert b.estimate(q) == pytest.approx(true, rel=0.1)
+
+    def test_uniform_accuracy_point(self):
+        """Point query ≈ TA / Area (Section 3.1)."""
+        b, rs = uniform_bucket(n=20_000, seed=3)
+        expected = rs.total_area() / Rect(0, 0, 1_000, 1_000).area
+        got = b.estimate(Rect.point(500, 500))
+        assert got == pytest.approx(expected, rel=0.01)
+
+    def test_extension_matters(self):
+        """A zero-area query still catches rectangles that straddle it."""
+        b, _ = uniform_bucket(n=1_000, side=100.0)
+        assert b.estimate(Rect.point(500, 500)) > 0.0
+
+    def test_degenerate_bucket_box(self):
+        b = Bucket(Rect(5, 5, 5, 5), 10)
+        assert b.estimate(Rect(0, 0, 10, 10)) == 10.0
+        assert b.estimate(Rect(6, 6, 7, 7)) == 0.0
+
+    def test_estimate_never_negative_nor_above_count(self):
+        b, _ = uniform_bucket()
+        gen = np.random.default_rng(4)
+        for _ in range(50):
+            x, y = gen.uniform(-200, 1_200, 2)
+            q = Rect(x, y, x + gen.uniform(0, 500),
+                     y + gen.uniform(0, 500))
+            est = b.estimate(q)
+            assert 0.0 <= est <= b.count
+
+
+class TestEstimateMany:
+    def test_matches_scalar(self):
+        buckets = []
+        gen = np.random.default_rng(5)
+        for i in range(6):
+            x, y = gen.uniform(0, 800, 2)
+            box = Rect(x, y, x + 150, y + 150)
+            buckets.append(
+                Bucket(box, int(gen.integers(1, 100)),
+                       avg_width=float(gen.uniform(1, 20)),
+                       avg_height=float(gen.uniform(1, 20)))
+            )
+        buckets.append(Bucket(Rect(3, 3, 3, 3), 5))  # degenerate
+        queries = RectSet.from_centers(
+            gen.uniform(0, 1_000, 200),
+            gen.uniform(0, 1_000, 200),
+            gen.uniform(0, 400, 200),
+            gen.uniform(0, 400, 200),
+        )
+        fast = estimate_many(buckets, queries, chunk_size=17)
+        slow = np.array(
+            [sum(b.estimate(q) for b in buckets) for q in queries]
+        )
+        np.testing.assert_allclose(fast, slow, rtol=1e-10)
+
+    def test_empty_inputs(self):
+        assert estimate_many([], RectSet.empty()).shape == (0,)
+        q = RectSet(np.array([[0.0, 0.0, 1.0, 1.0]]))
+        assert estimate_many([], q).tolist() == [0.0]
+
+
+class TestAssignment:
+    def test_assign_by_center(self):
+        rs = RectSet.from_centers(
+            [1.0, 5.0, 9.0], [1.0, 5.0, 9.0],
+            [1.0, 1.0, 1.0], [1.0, 1.0, 1.0],
+        )
+        boxes = [Rect(0, 0, 4, 4), Rect(4, 4, 10, 10)]
+        assignment = assign_by_center(rs, boxes)
+        assert assignment.tolist() == [0, 1, 1]
+
+    def test_unassigned_is_minus_one(self):
+        rs = RectSet.from_centers([100.0], [100.0], [1.0], [1.0])
+        assignment = assign_by_center(rs, [Rect(0, 0, 1, 1)])
+        assert assignment.tolist() == [-1]
+
+    def test_overlapping_boxes_first_wins(self):
+        rs = RectSet.from_centers([5.0], [5.0], [1.0], [1.0])
+        boxes = [Rect(0, 0, 10, 10), Rect(4, 4, 6, 6)]
+        assert assign_by_center(rs, boxes).tolist() == [0]
+
+    def test_buckets_from_assignment(self):
+        rs = RectSet(np.array([
+            [0.0, 0.0, 2.0, 2.0],
+            [1.0, 1.0, 3.0, 3.0],
+            [8.0, 8.0, 9.0, 9.0],
+        ]))
+        boxes = [Rect(0, 0, 5, 5), Rect(5, 5, 10, 10),
+                 Rect(20, 20, 30, 30)]
+        assignment = assign_by_center(rs, boxes)
+        buckets = buckets_from_assignment(rs, boxes, assignment)
+        assert [b.count for b in buckets] == [2, 1, 0]
+        assert buckets[0].avg_width == 2.0
+        assert buckets[1].avg_width == 1.0
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_counts_partition(self, seed):
+        gen = np.random.default_rng(seed)
+        n = int(gen.integers(1, 100))
+        rs = RectSet.from_centers(
+            gen.uniform(0, 100, n), gen.uniform(0, 100, n),
+            gen.uniform(0, 5, n), gen.uniform(0, 5, n),
+        )
+        # 2x2 disjoint cover of the space
+        boxes = [
+            Rect(0, 0, 50, 50), Rect(50, 0, 100, 50),
+            Rect(0, 50, 50, 100), Rect(50, 50, 100, 100),
+        ]
+        assignment = assign_by_center(rs, boxes)
+        buckets = buckets_from_assignment(rs, boxes, assignment)
+        assert sum(b.count for b in buckets) == n

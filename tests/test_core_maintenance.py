@@ -1,0 +1,170 @@
+"""Tests for incremental summary maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.core import MaintainedHistogram, MinSkewPartitioner
+from repro.counting import brute_force_counts
+from repro.data import uniform_rects
+from repro.estimators import BucketEstimator
+from repro.geometry import Rect, RectSet
+from repro.workload import range_queries
+
+
+@pytest.fixture()
+def hist(small_nj_road):
+    return MaintainedHistogram(
+        MinSkewPartitioner(25, n_regions=400), small_nj_road
+    )
+
+
+class TestBasics:
+    def test_validation(self, small_nj_road):
+        with pytest.raises(ValueError):
+            MaintainedHistogram(
+                MinSkewPartitioner(5, n_regions=100), small_nj_road,
+                drift_threshold=0.0,
+            )
+
+    def test_initial_state(self, hist, small_nj_road):
+        assert len(hist) == len(small_nj_road)
+        assert hist.modifications_since_refresh == 0
+        assert not hist.needs_refresh
+        assert sum(b.count for b in hist.buckets) == len(small_nj_road)
+
+    def test_insert_updates_count(self, hist):
+        before = sum(b.count for b in hist.buckets)
+        mbr = hist.current_data().mbr()
+        cx, cy = mbr.center
+        hist.insert(Rect.from_center(cx, cy, 5, 5))
+        assert sum(b.count for b in hist.buckets) == before + 1
+        assert len(hist) == before + 1
+
+    def test_insert_outside_is_drift(self, hist):
+        before = sum(b.count for b in hist.buckets)
+        hist.insert(Rect(1e6, 1e6, 1e6 + 1, 1e6 + 1))
+        assert hist.uncovered_inserts == 1
+        # bucket stats unchanged, raw data grew
+        assert sum(b.count for b in hist.buckets) == before
+        assert len(hist) == before + 1
+
+    def test_delete_existing(self, hist, small_nj_road):
+        victim = small_nj_road[0]
+        assert hist.delete(victim)
+        assert len(hist) == len(small_nj_road) - 1
+        assert sum(b.count for b in hist.buckets) == \
+            len(small_nj_road) - 1
+
+    def test_delete_missing_is_noop(self, hist, small_nj_road):
+        assert not hist.delete(Rect(1e6, 1e6, 1e6 + 1, 1e6 + 1))
+        assert len(hist) == len(small_nj_road)
+        assert hist.modifications_since_refresh == 0
+
+    def test_insert_then_delete_restores_counts(self, hist):
+        baseline = [b.count for b in hist.buckets]
+        mbr = hist.current_data().mbr()
+        cx, cy = mbr.center
+        r = Rect.from_center(cx, cy, 7, 3)
+        hist.insert(r)
+        assert hist.delete(r)
+        assert [b.count for b in hist.buckets] == baseline
+
+
+class TestDriftAndRefresh:
+    def test_needs_refresh_after_many_changes(self, small_nj_road):
+        hist = MaintainedHistogram(
+            MinSkewPartitioner(10, n_regions=100), small_nj_road,
+            drift_threshold=0.01,
+        )
+        mbr = small_nj_road.mbr()
+        cx, cy = mbr.center
+        for _ in range(int(0.02 * len(small_nj_road))):
+            hist.insert(Rect.from_center(cx, cy, 2, 2))
+        assert hist.needs_refresh
+
+    def test_refresh_resets(self, small_nj_road):
+        hist = MaintainedHistogram(
+            MinSkewPartitioner(10, n_regions=100), small_nj_road,
+            drift_threshold=0.01,
+        )
+        for i in range(200):
+            hist.insert(Rect(1e6 + i, 1e6, 1e6 + i + 1, 1e6 + 1))
+        assert hist.needs_refresh
+        hist.refresh()
+        assert not hist.needs_refresh
+        assert hist.uncovered_inserts == 0
+        # the rebuilt layout now covers the migrated data
+        assert sum(b.count for b in hist.buckets) == len(hist)
+
+    def test_refresh_to_empty(self):
+        data = RectSet(np.array([[0.0, 0.0, 1.0, 1.0]]))
+        hist = MaintainedHistogram(
+            MinSkewPartitioner(2, n_regions=4), data
+        )
+        assert hist.delete(data[0])
+        hist.refresh()
+        assert hist.buckets == []
+        assert hist.estimate(Rect(0, 0, 10, 10)) == 0.0
+
+
+class TestAccuracyUnderChange:
+    def test_estimates_track_inserts(self):
+        """After inserting a new cluster, the maintained histogram is
+        closer to the truth than the stale (unmaintained) one, and its
+        global count is exact.  The improvement is bounded by layout
+        staleness — counts move, boxes don't — which is why refresh()
+        exists."""
+        data = uniform_rects(4_000, seed=90)
+        partitioner = MinSkewPartitioner(30, n_regions=400)
+        hist = MaintainedHistogram(partitioner, data)
+        stale = BucketEstimator.build(partitioner, data)
+
+        # pour 2 000 new rectangles into one area
+        gen = np.random.default_rng(91)
+        for _ in range(2_000):
+            cx, cy = gen.uniform(2_000, 3_000, 2)
+            hist.insert(Rect.from_center(cx, cy, 100, 100))
+
+        # global count tracks exactly
+        full = hist.current_data().mbr()
+        assert hist.estimate(full) == pytest.approx(6_000, rel=0.01)
+        assert stale.estimate(full) == pytest.approx(4_000, rel=0.01)
+
+        # locally, maintained beats stale (but not a fresh rebuild)
+        query = Rect(1_800, 1_800, 3_200, 3_200)
+        truth = float(
+            brute_force_counts(
+                hist.current_data(),
+                RectSet(np.array([query.as_tuple()])),
+            )[0]
+        )
+        maintained_err = abs(hist.estimate(query) - truth) / truth
+        stale_err = abs(stale.estimate(query) - truth) / truth
+        assert maintained_err < stale_err
+        hist.refresh()
+        refreshed_err = abs(hist.estimate(query) - truth) / truth
+        assert refreshed_err < maintained_err
+
+    def test_refresh_beats_maintained(self):
+        """A full rebuild after heavy churn is at least as accurate as
+        the incrementally maintained summary."""
+        data = uniform_rects(4_000, seed=92)
+        partitioner = MinSkewPartitioner(30, n_regions=400)
+        hist = MaintainedHistogram(partitioner, data)
+        gen = np.random.default_rng(93)
+        for _ in range(3_000):
+            cx, cy = gen.uniform(7_000, 9_500, 2)
+            hist.insert(Rect.from_center(cx, cy, 50, 50))
+
+        live = hist.current_data()
+        queries = range_queries(live, 0.08, 300, seed=94)
+        truth = brute_force_counts(live, queries)
+
+        def total_err(buckets_estimate):
+            est = np.array([buckets_estimate(q) for q in queries])
+            return np.abs(truth - est).sum() / truth.sum()
+
+        maintained = total_err(hist.estimate)
+        hist.refresh()
+        rebuilt = total_err(hist.estimate)
+        assert rebuilt <= maintained * 1.05

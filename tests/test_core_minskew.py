@@ -1,0 +1,255 @@
+"""Tests for spatial skew and the Min-Skew construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MinSkewPartitioner,
+    bucket_skew,
+    grouping_skew,
+    grouping_skew_on_boxes,
+    grouping_skew_on_grid,
+    progressive_min_skew,
+    refinement_schedule,
+    variance,
+)
+from repro.data import charminar, uniform_rects
+from repro.geometry import Rect, RectSet
+from repro.grid import DensityGrid
+
+
+class TestSkewMeasures:
+    def test_variance_empty(self):
+        assert variance(np.array([])) == 0.0
+
+    def test_variance_matches_footnote(self):
+        vals = np.array([1.0, 2.0, 3.0, 4.0])
+        assert variance(vals) == pytest.approx(
+            ((vals - vals.mean()) ** 2).mean()
+        )
+
+    def test_bucket_skew_is_n_times_variance(self):
+        vals = np.array([1.0, 5.0, 9.0])
+        assert bucket_skew(vals) == pytest.approx(3 * vals.var())
+
+    def test_grouping_skew_sums(self):
+        a = np.array([1.0, 3.0])
+        b = np.array([2.0, 2.0])
+        assert grouping_skew([a, b]) == pytest.approx(bucket_skew(a))
+
+    def test_constant_grouping_zero_skew(self):
+        assert grouping_skew([np.full(5, 7.0), np.full(3, 1.0)]) == 0.0
+
+    def test_grid_helpers_agree(self):
+        gen = np.random.default_rng(40)
+        grid = DensityGrid(gen.integers(0, 9, (8, 8)).astype(float),
+                           Rect(0, 0, 80, 80))
+        blocks = [(0, 3, 0, 7), (4, 7, 0, 7)]
+        via_blocks = grouping_skew_on_grid(grid, blocks)
+        boxes = [grid.block_rect(*b) for b in blocks]
+        via_boxes = grouping_skew_on_boxes(grid, boxes)
+        assert via_blocks == pytest.approx(via_boxes)
+
+    def test_splitting_never_increases_skew(self):
+        gen = np.random.default_rng(41)
+        grid = DensityGrid(gen.integers(0, 50, (10, 10)).astype(float),
+                           Rect(0, 0, 10, 10))
+        whole = grouping_skew_on_grid(grid, [(0, 9, 0, 9)])
+        split = grouping_skew_on_grid(grid, [(0, 4, 0, 9), (5, 9, 0, 9)])
+        assert split <= whole + 1e-9
+
+
+class TestMinSkewConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MinSkewPartitioner(0)
+        with pytest.raises(ValueError):
+            MinSkewPartitioner(10, n_regions=0)
+        with pytest.raises(ValueError):
+            MinSkewPartitioner(10, refinements=-1)
+        with pytest.raises(ValueError):
+            MinSkewPartitioner(10, split_policy="magic")
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            MinSkewPartitioner(10).partition(RectSet.empty())
+
+    def test_bucket_quota_respected(self, small_charminar):
+        for beta in (1, 7, 50):
+            buckets = MinSkewPartitioner(
+                beta, n_regions=400
+            ).partition(small_charminar)
+            assert len(buckets) == beta
+
+    def test_quota_larger_than_grid(self):
+        """Cannot produce more buckets than grid cells."""
+        rs = uniform_rects(100, seed=42)
+        buckets = MinSkewPartitioner(50, n_regions=16).partition(rs)
+        assert len(buckets) <= 16
+
+    def test_counts_partition_input(self, small_charminar):
+        buckets = MinSkewPartitioner(
+            40, n_regions=900
+        ).partition(small_charminar)
+        assert sum(b.count for b in buckets) == len(small_charminar)
+
+    def test_boxes_tile_the_bounds(self, small_charminar):
+        """BSP blocks are disjoint and cover the MBR exactly."""
+        result = MinSkewPartitioner(
+            30, n_regions=400
+        ).partition_full(small_charminar)
+        total_area = sum(
+            result.grid.block_rect(*blk).area for blk in result.blocks
+        )
+        assert total_area == pytest.approx(result.grid.bounds.area)
+        # pairwise interiors disjoint: overlap area must be zero
+        boxes = [result.grid.block_rect(*blk) for blk in result.blocks]
+        for i in range(len(boxes)):
+            for j in range(i + 1, len(boxes)):
+                assert boxes[i].intersection_area(boxes[j]) == \
+                    pytest.approx(0.0)
+
+    def test_skew_decreases_with_buckets(self, small_charminar):
+        grid = DensityGrid.from_rects(small_charminar, 30, 30)
+        skews = []
+        for beta in (1, 5, 20, 60):
+            result = MinSkewPartitioner(
+                beta, n_regions=900
+            ).partition_full(small_charminar)
+            skews.append(
+                grouping_skew_on_grid(result.grid, result.blocks)
+            )
+        assert skews == sorted(skews, reverse=True)
+        assert skews[-1] < 0.5 * skews[0]
+
+    def test_buckets_follow_density(self, small_charminar):
+        """More buckets land in the dense corners than the empty middle."""
+        buckets = MinSkewPartitioner(
+            50, n_regions=2_500
+        ).partition(small_charminar)
+        space = small_charminar.mbr()
+        corner_zone = 0.25 * space.width
+        corner_buckets = sum(
+            1 for b in buckets
+            if (b.bbox.center[0] < space.x1 + corner_zone
+                or b.bbox.center[0] > space.x2 - corner_zone)
+            and (b.bbox.center[1] < space.y1 + corner_zone
+                 or b.bbox.center[1] > space.y2 - corner_zone)
+        )
+        assert corner_buckets > len(buckets) / 2
+
+    def test_exact_policy_no_worse_skew(self, small_charminar):
+        marginal = MinSkewPartitioner(
+            25, n_regions=400, split_policy="marginal"
+        ).partition_full(small_charminar)
+        exact = MinSkewPartitioner(
+            25, n_regions=400, split_policy="exact"
+        ).partition_full(small_charminar)
+        skew_marginal = grouping_skew_on_grid(
+            marginal.grid, marginal.blocks
+        )
+        skew_exact = grouping_skew_on_grid(exact.grid, exact.blocks)
+        # exact split search optimises the real objective; allow noise
+        assert skew_exact <= skew_marginal * 1.25
+
+    def test_trace_records_splits(self, small_charminar):
+        p = MinSkewPartitioner(10, n_regions=100, trace=True)
+        result = p.partition_full(small_charminar)
+        assert len(result.trace) == 9  # beta - 1 greedy splits
+        for record in result.trace:
+            assert record.axis in (0, 1)
+            assert record.skew_reduction >= 0.0
+
+    def test_degenerate_space(self):
+        """All rectangles stacked on one point."""
+        rs = RectSet(np.tile([[5.0, 5.0, 5.0, 5.0]], (20, 1)))
+        buckets = MinSkewPartitioner(10).partition(rs)
+        assert len(buckets) == 1
+        assert buckets[0].count == 20
+
+    def test_deterministic(self, small_charminar):
+        a = MinSkewPartitioner(20, n_regions=400).partition(
+            small_charminar
+        )
+        b = MinSkewPartitioner(20, n_regions=400).partition(
+            small_charminar
+        )
+        assert [x.bbox for x in a] == [x.bbox for x in b]
+        assert [x.count for x in a] == [x.count for x in b]
+
+    @given(st.integers(1, 30), st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_inputs_quota_and_partition(self, beta, seed):
+        gen = np.random.default_rng(seed)
+        n = int(gen.integers(2, 150))
+        rs = RectSet.from_centers(
+            gen.uniform(0, 100, n), gen.uniform(0, 100, n),
+            gen.uniform(0, 10, n), gen.uniform(0, 10, n),
+        )
+        buckets = MinSkewPartitioner(beta, n_regions=64).partition(rs)
+        assert 1 <= len(buckets) <= beta
+        assert sum(b.count for b in buckets) == n
+
+
+class TestProgressive:
+    def test_schedule_example3(self):
+        """The paper's Example 3: 60 buckets, 16 000 regions, 2 steps."""
+        stages = refinement_schedule(60, 16_000, 2)
+        assert [s.n_regions for s in stages] == [1_000, 4_000, 16_000]
+        assert [s.cumulative_buckets for s in stages] == [20, 40, 60]
+
+    def test_schedule_validation(self):
+        with pytest.raises(ValueError):
+            refinement_schedule(0, 100, 1)
+        with pytest.raises(ValueError):
+            refinement_schedule(10, 0, 1)
+        with pytest.raises(ValueError):
+            refinement_schedule(10, 100, -1)
+
+    def test_zero_refinements_is_plain(self, small_charminar):
+        plain = MinSkewPartitioner(15, n_regions=400).partition(
+            small_charminar
+        )
+        zero = MinSkewPartitioner(
+            15, n_regions=400, refinements=0
+        ).partition(small_charminar)
+        assert [b.bbox for b in plain] == [b.bbox for b in zero]
+
+    def test_refined_construction_quota(self, small_charminar):
+        p = progressive_min_skew(30, n_regions=1_600, refinements=2)
+        buckets = p.partition(small_charminar)
+        assert len(buckets) == 30
+        assert sum(b.count for b in buckets) == len(small_charminar)
+
+    def test_final_grid_resolution(self, small_charminar):
+        p = MinSkewPartitioner(12, n_regions=1_600, refinements=2)
+        result = p.partition_full(small_charminar)
+        # started at 40/4=10 per side, refined twice -> 40 per side
+        assert result.grid.shape() == (40, 40)
+
+    def test_refinement_helps_large_queries_on_charminar(self):
+        """The Figure-11 effect: with a very fine grid, the right number
+        of refinements substantially reduces large-query error (the
+        paper found the best count to vary between 2 and 6)."""
+        from repro.estimators import BucketEstimator
+        from repro.eval import ExperimentRunner
+        from repro.workload import range_queries
+
+        data = charminar()
+        runner = ExperimentRunner(data)
+        queries = range_queries(data, 0.25, 400, seed=7)
+
+        def err(refinements):
+            p = MinSkewPartitioner(
+                50, n_regions=30_000, refinements=refinements
+            )
+            est = BucketEstimator.build(p, data)
+            return runner.evaluate(
+                est, queries
+            ).average_relative_error
+
+        plain = err(0)
+        best = min(err(r) for r in (2, 4, 6))
+        assert best < 0.8 * plain

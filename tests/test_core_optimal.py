@@ -1,0 +1,109 @@
+"""Tests for the dynamic-programming optimal BSP."""
+
+import numpy as np
+import pytest
+
+from repro.core import MinSkewPartitioner, OptimalBSP, \
+    grouping_skew_on_grid
+from repro.geometry import Rect, RectSet
+from repro.grid import DensityGrid
+
+
+def grid_from(values):
+    values = np.asarray(values, dtype=float)
+    return DensityGrid(values, Rect(0, 0, values.shape[0] * 10.0,
+                                    values.shape[1] * 10.0))
+
+
+class TestOptimalBSP:
+    def test_validation(self):
+        g = grid_from(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            OptimalBSP(g, max_buckets=0)
+        with pytest.raises(ValueError):
+            OptimalBSP(g).optimal_skew(0)
+        with pytest.raises(ValueError):
+            OptimalBSP(g, max_buckets=2).optimal_skew(3)
+        big = DensityGrid(np.ones((80, 80)), Rect(0, 0, 1, 1))
+        with pytest.raises(ValueError, match="exponential"):
+            OptimalBSP(big)
+
+    def test_single_bucket_is_whole_sse(self):
+        values = np.array([[1.0, 5.0], [2.0, 8.0]])
+        g = grid_from(values)
+        expected = ((values - values.mean()) ** 2).sum()
+        assert OptimalBSP(g).optimal_skew(1) == pytest.approx(expected)
+
+    def test_enough_buckets_zero_skew(self):
+        g = grid_from(np.arange(9, dtype=float).reshape(3, 3))
+        opt = OptimalBSP(g)
+        assert opt.optimal_skew(9) == pytest.approx(0.0, abs=1e-9)
+        blocks = opt.optimal_blocks(9)
+        assert len(blocks) == 9
+
+    def test_quota_clamped_to_cells(self):
+        g = grid_from(np.ones((2, 2)))
+        blocks = OptimalBSP(g, max_buckets=10).optimal_blocks(10)
+        assert len(blocks) <= 4
+
+    def test_obvious_two_way_split(self):
+        # left half all 1s, right half all 9s: two buckets suffice
+        values = np.ones((4, 4))
+        values[2:, :] = 9.0
+        g = grid_from(values)
+        opt = OptimalBSP(g)
+        assert opt.optimal_skew(2) == pytest.approx(0.0, abs=1e-9)
+        blocks = opt.optimal_blocks(2)
+        assert sorted(blocks) == [(0, 1, 0, 3), (2, 3, 0, 3)]
+
+    def test_monotone_in_budget(self):
+        gen = np.random.default_rng(44)
+        g = grid_from(gen.integers(0, 20, (5, 5)))
+        opt = OptimalBSP(g)
+        skews = [opt.optimal_skew(k) for k in range(1, 8)]
+        assert skews == sorted(skews, reverse=True)
+
+    def test_blocks_tile_grid(self):
+        gen = np.random.default_rng(45)
+        g = grid_from(gen.integers(0, 20, (6, 4)))
+        blocks = OptimalBSP(g).optimal_blocks(5)
+        covered = np.zeros((6, 4), dtype=int)
+        for ix0, ix1, iy0, iy1 in blocks:
+            covered[ix0:ix1 + 1, iy0:iy1 + 1] += 1
+        assert (covered == 1).all()
+
+    def test_blocks_skew_equals_reported_optimum(self):
+        gen = np.random.default_rng(46)
+        g = grid_from(gen.integers(0, 30, (6, 6)))
+        opt = OptimalBSP(g)
+        for k in (1, 3, 6):
+            blocks = opt.optimal_blocks(k)
+            assert grouping_skew_on_grid(g, blocks) == pytest.approx(
+                opt.optimal_skew(k), abs=1e-6
+            )
+
+    def test_greedy_minskew_close_to_optimal(self):
+        """The headline sanity check: the greedy construction's skew is
+        within a small factor of the DP optimum on small instances."""
+        gen = np.random.default_rng(47)
+        n = 400
+        rs = RectSet.from_centers(
+            gen.uniform(0, 100, n) ** 1.3 % 100,
+            gen.uniform(0, 100, n),
+            gen.uniform(1, 5, n),
+            gen.uniform(1, 5, n),
+        )
+        for beta in (4, 8):
+            result = MinSkewPartitioner(
+                beta, n_regions=64, split_policy="exact"
+            ).partition_full(rs)
+            greedy_skew = grouping_skew_on_grid(
+                result.grid, result.blocks
+            )
+            optimal = OptimalBSP(result.grid).optimal_skew(
+                min(beta, 32)
+            )
+            assert greedy_skew <= 2.0 * optimal + 1e-9, (
+                beta, greedy_skew, optimal
+            )
+            assert greedy_skew >= optimal - 1e-6

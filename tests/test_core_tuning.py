@@ -1,0 +1,95 @@
+"""Tests for Min-Skew configuration tuning (the paper's open problem)."""
+
+import pytest
+
+from repro.core import MinSkewPartitioner, tune_min_skew
+from repro.data import charminar
+from repro.geometry import RectSet
+
+
+class TestValidation:
+    def test_empty_data(self):
+        with pytest.raises(ValueError):
+            tune_min_skew(RectSet.empty(), 10)
+
+    def test_bad_truth_mode(self, small_nj_road):
+        with pytest.raises(ValueError, match="truth"):
+            tune_min_skew(small_nj_road, 10, truth="psychic")
+
+    def test_empty_candidates(self, small_nj_road):
+        with pytest.raises(ValueError, match="non-empty"):
+            tune_min_skew(small_nj_road, 10, region_candidates=())
+
+
+class TestTuning:
+    def test_sweeps_all_candidates(self, small_nj_road):
+        result = tune_min_skew(
+            small_nj_road,
+            20,
+            region_candidates=(100, 400),
+            refinement_candidates=(0, 1),
+            n_queries=50,
+            seed=3,
+        )
+        assert len(result.candidates) == 4
+        assert result.error == min(c.error for c in result.candidates)
+        assert result.n_regions in (100, 400)
+        assert result.refinements in (0, 1)
+
+    def test_make_partitioner(self, small_nj_road):
+        result = tune_min_skew(
+            small_nj_road, 20,
+            region_candidates=(400,),
+            refinement_candidates=(0,),
+            n_queries=50,
+        )
+        partitioner = result.make_partitioner(20)
+        assert isinstance(partitioner, MinSkewPartitioner)
+        assert partitioner.n_regions == 400
+        buckets = partitioner.partition(small_nj_road)
+        assert len(buckets) == 20
+
+    def test_sample_truth_close_to_exact(self, small_nj_road):
+        """Sample-based truth should usually pick a config whose exact
+        validation error is competitive with the exact-truth pick."""
+        kwargs = dict(
+            region_candidates=(100, 1_600),
+            refinement_candidates=(0,),
+            n_queries=100,
+            seed=4,
+        )
+        exact = tune_min_skew(small_nj_road, 20, truth="exact",
+                              **kwargs)
+        sampled = tune_min_skew(small_nj_road, 20, truth="sample",
+                                truth_sample_size=2_000, **kwargs)
+        exact_by_config = {
+            (c.n_regions, c.refinements): c.error
+            for c in exact.candidates
+        }
+        chosen = exact_by_config[(sampled.n_regions,
+                                  sampled.refinements)]
+        assert chosen <= 2.0 * exact.error + 0.02
+
+    def test_avoids_anomalous_config_on_charminar(self):
+        """The tuner must not pick the pathological fine-grid/zero-
+        refinement configuration the Figure 10(b) anomaly punishes —
+        its chosen config must score clearly better on large queries
+        than the worst candidate."""
+        data = charminar(20_000, seed=77)
+        result = tune_min_skew(
+            data,
+            50,
+            region_candidates=(400, 30_000),
+            refinement_candidates=(0, 4),
+            qsizes=(0.25,),
+            n_queries=200,
+            seed=5,
+        )
+        worst = max(c.error for c in result.candidates)
+        assert result.error < worst
+        # and specifically not the known-bad corner of the grid
+        assert not (
+            result.n_regions == 30_000 and result.refinements == 0
+        ) or result.error <= min(
+            c.error for c in result.candidates
+        ) + 1e-12

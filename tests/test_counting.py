@@ -1,0 +1,210 @@
+"""Tests for the exact-counting substrates: Fenwick tree, dominance
+counting, brute force, and the inclusion–exclusion oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.counting import (
+    ExactCountOracle,
+    FenwickTree,
+    brute_force_counts,
+    dominance_count,
+)
+from repro.geometry import Rect, RectSet
+
+from .test_rtree_rstar import random_rectset
+
+
+class TestFenwick:
+    def test_empty(self):
+        t = FenwickTree(0)
+        assert t.prefix_sum(0) == 0
+        assert t.total() == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            FenwickTree(-1)
+
+    def test_out_of_range_add(self):
+        t = FenwickTree(4)
+        with pytest.raises(IndexError):
+            t.add(4)
+        with pytest.raises(IndexError):
+            t.add(-1)
+
+    def test_prefix_sums(self):
+        t = FenwickTree(10)
+        for i in range(10):
+            t.add(i, i)
+        for k in range(11):
+            assert t.prefix_sum(k) == sum(range(k))
+
+    def test_prefix_beyond_size_clamps(self):
+        t = FenwickTree(3)
+        t.add(0)
+        t.add(2)
+        assert t.prefix_sum(100) == 2
+
+    def test_range_sum(self):
+        t = FenwickTree(8)
+        for i in range(8):
+            t.add(i, 1)
+        assert t.range_sum(2, 5) == 3
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=60),
+           st.integers(0, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_cumsum(self, updates, k):
+        size = 16
+        t = FenwickTree(size)
+        reference = np.zeros(size, dtype=int)
+        for idx in updates:
+            t.add(idx, 1)
+            reference[idx] += 1
+        assert t.prefix_sum(k) == reference[: min(k, size)].sum()
+
+
+class TestDominance:
+    def test_empty_inputs(self):
+        empty = np.array([])
+        out = dominance_count(empty, empty, np.array([1.0]),
+                              np.array([1.0]))
+        assert out.tolist() == [0]
+        out = dominance_count(np.array([1.0]), np.array([1.0]),
+                              empty, empty)
+        assert out.shape == (0,)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            dominance_count(np.array([1.0]), np.array([1.0, 2.0]),
+                            np.array([1.0]), np.array([1.0]))
+
+    def test_strictness(self):
+        # a point exactly at the query threshold is NOT dominated
+        px = np.array([1.0])
+        py = np.array([1.0])
+        assert dominance_count(px, py, np.array([1.0]),
+                               np.array([2.0]))[0] == 0
+        assert dominance_count(px, py, np.array([2.0]),
+                               np.array([1.0]))[0] == 0
+        assert dominance_count(px, py, np.array([1.1]),
+                               np.array([1.1]))[0] == 1
+
+    def test_duplicates(self):
+        px = np.array([0.0, 0.0, 0.0])
+        py = np.array([0.0, 0.0, 0.0])
+        out = dominance_count(px, py, np.array([1.0]), np.array([1.0]))
+        assert out[0] == 3
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_bruteforce(self, seed):
+        gen = np.random.default_rng(seed)
+        n, q = int(gen.integers(1, 80)), int(gen.integers(1, 40))
+        px, py = gen.integers(0, 20, n) * 1.0, gen.integers(0, 20, n) * 1.0
+        qx, qy = gen.integers(0, 20, q) * 1.0, gen.integers(0, 20, q) * 1.0
+        fast = dominance_count(px, py, qx, qy)
+        slow = [
+            int(((px < qx[j]) & (py < qy[j])).sum()) for j in range(q)
+        ]
+        assert fast.tolist() == slow
+
+
+class TestBruteForce:
+    def test_empty_data(self):
+        queries = RectSet.from_centers([1.0], [1.0], [1.0], [1.0])
+        out = brute_force_counts(RectSet.empty(), queries)
+        assert out.tolist() == [0]
+
+    def test_empty_queries(self):
+        data = RectSet.from_centers([1.0], [1.0], [1.0], [1.0])
+        assert brute_force_counts(data, RectSet.empty()).shape == (0,)
+
+    def test_invalid_chunk(self, mixed_rects):
+        with pytest.raises(ValueError):
+            brute_force_counts(mixed_rects, mixed_rects, chunk_size=0)
+
+    def test_chunking_irrelevant(self, mixed_rects):
+        queries = random_rectset(100, seed=20, extent=1_000)
+        a = brute_force_counts(mixed_rects, queries, chunk_size=7)
+        b = brute_force_counts(mixed_rects, queries, chunk_size=1_000)
+        np.testing.assert_array_equal(a, b)
+
+    def test_against_scalar_loop(self, mixed_rects):
+        queries = random_rectset(50, seed=21, extent=1_000)
+        out = brute_force_counts(mixed_rects, queries)
+        for j, q in enumerate(queries):
+            assert out[j] == mixed_rects.count_intersecting(q)
+
+
+class TestOracle:
+    def test_matches_bruteforce_random(self):
+        data = random_rectset(3_000, seed=22)
+        queries = random_rectset(400, seed=23, max_side=300.0)
+        expected = brute_force_counts(data, queries)
+        got = ExactCountOracle(data).counts(queries)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_matches_bruteforce_degenerate(self, mixed_rects):
+        """Segments and points in the data; points among the queries."""
+        gen = np.random.default_rng(24)
+        q_coords = np.column_stack(
+            [gen.uniform(0, 1_000, 60)] * 2
+            + [gen.uniform(0, 1_000, 60)] * 2
+        )
+        q_coords = np.column_stack(
+            (
+                np.minimum(q_coords[:, 0], q_coords[:, 2]),
+                np.minimum(q_coords[:, 1], q_coords[:, 3]),
+                np.maximum(q_coords[:, 0], q_coords[:, 2]),
+                np.maximum(q_coords[:, 1], q_coords[:, 3]),
+            )
+        )
+        queries = RectSet(q_coords)
+        expected = brute_force_counts(mixed_rects, queries)
+        got = ExactCountOracle(mixed_rects).counts(queries)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_touching_edges_counted(self):
+        data = RectSet(np.array([[0.0, 0.0, 1.0, 1.0]]))
+        queries = RectSet(np.array([[1.0, 1.0, 2.0, 2.0]]))
+        assert ExactCountOracle(data).counts(queries)[0] == 1
+
+    def test_full_space(self):
+        data = random_rectset(500, seed=25)
+        queries = RectSet(np.array([data.mbr().as_tuple()]))
+        assert ExactCountOracle(data).counts(queries)[0] == 500
+
+    def test_empty_data(self):
+        oracle = ExactCountOracle(RectSet.empty())
+        queries = RectSet(np.array([[0.0, 0.0, 1.0, 1.0]]))
+        assert oracle.counts(queries)[0] == 0
+
+    def test_empty_queries(self):
+        oracle = ExactCountOracle(random_rectset(10, seed=26))
+        assert oracle.counts(RectSet.empty()).shape == (0,)
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_exactness(self, seed):
+        gen = np.random.default_rng(seed)
+        n, q = int(gen.integers(1, 120)), int(gen.integers(1, 50))
+        # integer coords make exact boundary coincidences common
+        data = RectSet.from_centers(
+            gen.integers(0, 50, n).astype(float),
+            gen.integers(0, 50, n).astype(float),
+            gen.integers(0, 10, n).astype(float) * 2,
+            gen.integers(0, 10, n).astype(float) * 2,
+        )
+        queries = RectSet.from_centers(
+            gen.integers(0, 50, q).astype(float),
+            gen.integers(0, 50, q).astype(float),
+            gen.integers(0, 20, q).astype(float) * 2,
+            gen.integers(0, 20, q).astype(float) * 2,
+        )
+        np.testing.assert_array_equal(
+            ExactCountOracle(data).counts(queries),
+            brute_force_counts(data, queries),
+        )

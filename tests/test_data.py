@@ -1,0 +1,251 @@
+"""Tests for dataset generators, registry, and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CHARMINAR_SIDE,
+    CHARMINAR_SPACE,
+    charminar,
+    clustered_rects,
+    dataset_names,
+    default_size,
+    diagonal_rects,
+    load_csv,
+    load_npy,
+    make_dataset,
+    nj_road_like,
+    save_csv,
+    save_npy,
+    sequoia_like,
+    skewed_rects,
+    uniform_rects,
+    zipf_positions_2d,
+    zipf_values,
+)
+from repro.geometry import Rect
+from repro.grid import DensityGrid
+
+
+class TestZipf:
+    def test_zero_skew_is_roughly_uniform(self):
+        vals = zipf_values(20_000, 0.0, 0.0, 100.0, rng=1)
+        assert abs(vals.mean() - 50.0) < 2.0
+
+    def test_high_skew_concentrates_small(self):
+        vals = zipf_values(20_000, 2.0, 0.0, 100.0, rng=2)
+        assert np.median(vals) < 10.0
+
+    def test_range_respected(self):
+        vals = zipf_values(1_000, 1.0, 5.0, 9.0, rng=3)
+        assert vals.min() >= 5.0 and vals.max() <= 9.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            zipf_values(10, -1.0, 0, 1)
+        with pytest.raises(ValueError):
+            zipf_values(10, 1.0, 2, 1)
+        with pytest.raises(ValueError):
+            zipf_positions_2d(10, -0.5, Rect(0, 0, 1, 1))
+
+    def test_positions_skew_towards_origin(self):
+        b = Rect(0, 0, 100, 100)
+        pts = zipf_positions_2d(5_000, 1.5, b, rng=4)
+        assert (pts[:, 0] < 50).mean() > 0.8
+        assert (pts[:, 1] < 50).mean() > 0.8
+
+    def test_positions_inside_bounds(self):
+        b = Rect(-10, 5, 20, 35)
+        pts = zipf_positions_2d(2_000, 1.0, b, rng=5)
+        assert pts[:, 0].min() >= -10 and pts[:, 0].max() <= 20
+        assert pts[:, 1].min() >= 5 and pts[:, 1].max() <= 35
+
+
+class TestUniform:
+    def test_identical_sizes(self):
+        rs = uniform_rects(500, width=100, height=100, seed=6)
+        assert np.allclose(rs.widths, 100.0)
+        assert np.allclose(rs.heights, 100.0)
+
+    def test_fully_inside_bounds(self):
+        rs = uniform_rects(500, seed=7)
+        mbr = rs.mbr()
+        space = Rect(0, 0, 10_000, 10_000)
+        assert space.contains_rect(mbr)
+
+    def test_roughly_flat_density(self):
+        rs = uniform_rects(20_000, seed=8)
+        g = DensityGrid.from_rects(rs, 8, 8,
+                                   bounds=Rect(0, 0, 10_000, 10_000))
+        d = g.densities
+        assert d.max() / max(d.min(), 1) < 1.6
+
+
+class TestCharminar:
+    def test_published_parameters(self, small_charminar):
+        assert np.allclose(small_charminar.widths, CHARMINAR_SIDE)
+        assert np.allclose(small_charminar.heights, CHARMINAR_SIDE)
+        assert CHARMINAR_SPACE.contains_rect(small_charminar.mbr())
+
+    def test_corners_denser_than_center(self, small_charminar):
+        g = DensityGrid.from_rects(
+            small_charminar, 10, 10, bounds=CHARMINAR_SPACE
+        )
+        d = g.densities
+        corners = [d[0, 0], d[9, 0], d[0, 9], d[9, 9]]
+        center = d[4:6, 4:6].mean()
+        assert min(corners) > 4 * center
+
+    def test_corner_densities_vary(self, small_charminar):
+        g = DensityGrid.from_rects(
+            small_charminar, 10, 10, bounds=CHARMINAR_SPACE
+        )
+        d = g.densities
+        corners = sorted([d[0, 0], d[9, 0], d[0, 9], d[9, 9]])
+        assert corners[-1] > 1.5 * corners[0]
+
+    def test_deterministic(self):
+        a = charminar(1_000, seed=9)
+        b = charminar(1_000, seed=9)
+        assert a == b
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            charminar(100, corner_weights=(0.5, 0.5, 0.5, 0.5))
+        with pytest.raises(ValueError, match="four corner"):
+            charminar(100, corner_weights=(1.0,), interior_weight=0.0)
+
+    def test_exact_count(self):
+        assert len(charminar(12_345, seed=10)) == 12_345
+
+
+class TestNjRoad:
+    def test_exact_count(self, small_nj_road):
+        assert len(small_nj_road) == 8_000
+
+    def test_segments_are_thin(self, small_nj_road):
+        """Road-segment MBRs are small relative to the space."""
+        mbr = small_nj_road.mbr()
+        assert small_nj_road.avg_width() < 0.01 * mbr.width
+        assert small_nj_road.avg_height() < 0.01 * mbr.height
+
+    def test_axis_diversity(self, small_nj_road):
+        """Roads run in both directions: neither axis dominates."""
+        wide = (small_nj_road.widths > small_nj_road.heights).mean()
+        assert 0.2 < wide < 0.8
+
+    def test_moderate_placement_skew(self, small_nj_road):
+        """Denser than uniform but far from Charminar-extreme."""
+        g = DensityGrid.from_rects(small_nj_road, 10, 10)
+        d = g.densities
+        ratio = d.max() / max(d.mean(), 1e-9)
+        assert 1.5 < ratio < 40.0
+
+    def test_mostly_covered_space(self, small_nj_road):
+        """Road networks leave few completely empty regions."""
+        g = DensityGrid.from_rects(small_nj_road, 10, 10)
+        assert (g.densities == 0).mean() < 0.35
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            nj_road_like(0)
+        with pytest.raises(ValueError):
+            nj_road_like(100, highway_frac=0.6, arterial_frac=0.5)
+
+
+class TestOtherSets:
+    def test_skewed(self):
+        rs = skewed_rects(3_000, placement_z=1.5, size_z=1.2, seed=11)
+        assert len(rs) == 3_000
+        g = DensityGrid.from_rects(rs, 8, 8)
+        assert g.densities.max() > 3 * g.densities.mean()
+
+    def test_clustered(self):
+        rs = clustered_rects(3_000, seed=12)
+        assert len(rs) == 3_000
+
+    def test_clustered_validation(self):
+        with pytest.raises(ValueError):
+            clustered_rects(100, background_frac=1.5)
+
+    def test_diagonal(self):
+        rs = diagonal_rects(3_000, seed=13)
+        centers = rs.centers()
+        mbr = rs.mbr()
+        corr = np.corrcoef(centers[:, 0], centers[:, 1])[0, 1]
+        assert corr > 0.9
+        assert mbr.width > 0
+
+    def test_sequoia(self):
+        rs = sequoia_like(5_000, seed=14)
+        assert len(rs) == 5_000
+        # point-like entities
+        assert rs.avg_width() < 10.0
+
+    def test_sequoia_validation(self):
+        with pytest.raises(ValueError):
+            sequoia_like(100, coastal_frac=2.0)
+
+
+class TestRegistry:
+    def test_names(self):
+        names = dataset_names()
+        assert "charminar" in names
+        assert "nj_road" in names
+
+    def test_default_sizes(self):
+        assert default_size("charminar") == 40_000
+        assert default_size("nj_road") == 414_442
+        with pytest.raises(KeyError):
+            default_size("nope")
+
+    def test_make_dataset_case_insensitive(self):
+        a = make_dataset("Charminar", 500)
+        b = make_dataset("charminar", 500)
+        assert a == b
+
+    def test_make_dataset_unknown(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            make_dataset("atlantis")
+
+    def test_seed_changes_data(self):
+        a = make_dataset("uniform", 500, seed=1)
+        b = make_dataset("uniform", 500, seed=2)
+        assert a != b
+
+
+class TestIO:
+    def test_npy_roundtrip(self, tmp_path, small_nj_road):
+        path = tmp_path / "data.npy"
+        save_npy(small_nj_road, path)
+        assert load_npy(path) == small_nj_road
+
+    def test_csv_roundtrip(self, tmp_path):
+        rs = make_dataset("uniform", 50)
+        path = tmp_path / "data.csv"
+        save_csv(rs, path)
+        loaded = load_csv(path)
+        np.testing.assert_allclose(loaded.coords, rs.coords)
+
+    def test_csv_headerless(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("0,0,1,1\n2,2,3,3\n")
+        rs = load_csv(path)
+        assert len(rs) == 2
+
+    def test_csv_bad_column_count(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0,0,1\n")
+        with pytest.raises(ValueError, match="expected 4 columns"):
+            load_csv(path)
+
+    def test_csv_non_numeric(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0,0,one,1\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            load_csv(path)
+
+    def test_csv_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        assert len(load_csv(path)) == 0

@@ -1,0 +1,237 @@
+"""Tests for the estimator layer: interface, bucket estimator, Uniform,
+Sample, Fractal, and the exact oracle wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core import MinSkewPartitioner
+from repro.counting import brute_force_counts
+from repro.data import uniform_rects
+from repro.estimators import (
+    WORDS_PER_BUCKET,
+    WORDS_PER_SAMPLE,
+    BucketEstimator,
+    ExactEstimator,
+    FractalEstimator,
+    SampleEstimator,
+    UniformEstimator,
+    correlation_dimension,
+    reservoir_sample,
+)
+from repro.geometry import Rect, RectSet
+from repro.workload import range_queries
+
+from .test_rtree_rstar import random_rectset
+
+
+class TestBucketEstimator:
+    def test_requires_buckets(self):
+        with pytest.raises(ValueError):
+            BucketEstimator([])
+
+    def test_build_from_partitioner(self, small_charminar):
+        est = BucketEstimator.build(
+            MinSkewPartitioner(20, n_regions=400), small_charminar
+        )
+        assert est.name == "Min-Skew"
+        assert est.n_buckets == 20
+        assert est.total_count() == len(small_charminar)
+
+    def test_size_words(self, small_charminar):
+        est = BucketEstimator.build(
+            MinSkewPartitioner(25, n_regions=400), small_charminar
+        )
+        assert est.size_words() == 25 * WORDS_PER_BUCKET
+
+    def test_estimate_many_matches_scalar(self, small_charminar):
+        est = BucketEstimator.build(
+            MinSkewPartitioner(15, n_regions=400), small_charminar
+        )
+        queries = range_queries(small_charminar, 0.1, 50, seed=1)
+        fast = est.estimate_many(queries)
+        slow = np.array([est.estimate(q) for q in queries])
+        np.testing.assert_allclose(fast, slow, rtol=1e-9)
+
+    def test_full_space_estimate_is_n(self, small_charminar):
+        est = BucketEstimator.build(
+            MinSkewPartitioner(15, n_regions=400), small_charminar
+        )
+        assert est.estimate(small_charminar.mbr()) == pytest.approx(
+            len(small_charminar)
+        )
+
+    def test_selectivity(self, small_charminar):
+        est = BucketEstimator.build(
+            MinSkewPartitioner(15, n_regions=400), small_charminar
+        )
+        sel = est.selectivity(small_charminar.mbr(),
+                              len(small_charminar))
+        assert sel == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            est.selectivity(small_charminar.mbr(), 0)
+
+
+class TestUniform:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            UniformEstimator(RectSet.empty())
+
+    def test_exact_on_uniform_data(self):
+        """Uniform data is the one case Uniform approximates well."""
+        data = uniform_rects(20_000, seed=60)
+        est = UniformEstimator(data)
+        queries = range_queries(data, 0.2, 200, seed=61)
+        truth = brute_force_counts(data, queries)
+        rel = np.abs(est.estimate_many(queries) - truth) / truth
+        assert np.median(rel) < 0.1
+
+    def test_constant_space(self):
+        data = uniform_rects(5_000, seed=62)
+        assert UniformEstimator(data).size_words() == WORDS_PER_BUCKET
+
+    def test_point_query_is_average_density(self):
+        data = uniform_rects(10_000, seed=63)
+        est = UniformEstimator(data)
+        expected = data.total_area() / data.mbr().area
+        got = est.estimate(Rect.point(5_000, 5_000))
+        assert got == pytest.approx(expected, rel=0.01)
+
+
+class TestSample:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SampleEstimator(RectSet.empty(), 10)
+        data = random_rectset(100, seed=64)
+        with pytest.raises(ValueError):
+            SampleEstimator(data, 0)
+
+    def test_scaling(self):
+        data = random_rectset(1_000, seed=65)
+        est = SampleEstimator(data, 100, seed=66)
+        # the whole space: every sample rect matches -> estimate = N
+        assert est.estimate(data.mbr()) == pytest.approx(1_000)
+
+    def test_size_words(self):
+        data = random_rectset(500, seed=67)
+        est = SampleEstimator(data, 50, seed=68)
+        assert est.size_words() == 50 * WORDS_PER_SAMPLE
+
+    def test_estimate_many_matches_scalar(self):
+        data = random_rectset(800, seed=69)
+        est = SampleEstimator(data, 80, seed=70)
+        queries = range_queries(data, 0.2, 60, seed=71)
+        fast = est.estimate_many(queries)
+        slow = np.array([est.estimate(q) for q in queries])
+        np.testing.assert_allclose(fast, slow)
+
+    def test_unbiased_on_average(self):
+        """Mean of many sampled estimates ≈ the true count."""
+        data = random_rectset(2_000, seed=72)
+        q = Rect(200, 200, 700, 700)
+        truth = data.count_intersecting(q)
+        estimates = [
+            SampleEstimator(data, 200, seed=s).estimate(q)
+            for s in range(40)
+        ]
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.15)
+
+    def test_reservoir_sample(self):
+        gen = np.random.default_rng(73)
+        stream = [Rect(i, i, i + 1, i + 1) for i in range(1_000)]
+        sample = reservoir_sample(iter(stream), 50, gen)
+        assert len(sample) == 50
+        assert len({r.x1 for r in sample}) == 50  # distinct
+        # shorter stream than k
+        assert len(reservoir_sample(iter(stream[:10]), 50, gen)) == 10
+        with pytest.raises(ValueError):
+            reservoir_sample(iter(stream), -1, gen)
+
+
+class TestFractal:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            FractalEstimator(RectSet.empty())
+
+    def test_dimension_of_uniform_points_near_2(self):
+        gen = np.random.default_rng(74)
+        pts = gen.uniform(0, 1_000, (20_000, 2))
+        d2, _, _ = correlation_dimension(
+            pts, Rect(0, 0, 1_000, 1_000), max_level=6
+        )
+        assert 1.7 < d2 <= 2.0
+
+    def test_dimension_of_line_near_1(self):
+        gen = np.random.default_rng(75)
+        t = gen.uniform(0, 1_000, 20_000)
+        pts = np.column_stack((t, t))
+        d2, _, _ = correlation_dimension(
+            pts, Rect(0, 0, 1_000, 1_000), max_level=6
+        )
+        assert 0.8 < d2 < 1.3
+
+    def test_dimension_of_single_point_zero(self):
+        pts = np.zeros((100, 2))
+        d2, _, _ = correlation_dimension(
+            pts, Rect(0, 0, 10, 10), max_level=5
+        )
+        assert d2 == pytest.approx(0.0, abs=0.05)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            correlation_dimension(np.zeros((0, 2)), Rect(0, 0, 1, 1))
+        with pytest.raises(ValueError):
+            correlation_dimension(np.zeros((5, 2)), Rect(0, 0, 1, 1),
+                                  min_level=3, max_level=2)
+
+    def test_estimates_bounded(self):
+        data = random_rectset(2_000, seed=76)
+        est = FractalEstimator(data)
+        queries = range_queries(data, 0.15, 100, seed=77)
+        out = est.estimate_many(queries)
+        assert (out >= 0).all()
+        assert (out <= len(data)).all()
+
+    def test_reasonable_on_uniform_data(self):
+        """On uniform data D2≈2 and the power law is near-exact."""
+        data = uniform_rects(20_000, seed=78)
+        est = FractalEstimator(data)
+        assert est.d2 > 1.7
+        queries = range_queries(data, 0.2, 200, seed=79)
+        truth = brute_force_counts(data, queries)
+        rel = np.abs(est.estimate_many(queries) - truth) / truth
+        assert np.median(rel) < 0.35
+
+    def test_constant_space(self):
+        data = random_rectset(500, seed=80)
+        assert FractalEstimator(data).size_words() == 8
+
+    def test_estimate_many_matches_scalar(self):
+        data = random_rectset(700, seed=81)
+        est = FractalEstimator(data)
+        queries = range_queries(data, 0.1, 50, seed=82)
+        np.testing.assert_allclose(
+            est.estimate_many(queries),
+            [est.estimate(q) for q in queries],
+            rtol=1e-9,
+        )
+
+
+class TestExact:
+    def test_matches_bruteforce(self):
+        data = random_rectset(800, seed=83)
+        est = ExactEstimator(data)
+        queries = range_queries(data, 0.1, 80, seed=84)
+        np.testing.assert_array_equal(
+            est.estimate_many(queries),
+            brute_force_counts(data, queries).astype(float),
+        )
+
+    def test_scalar(self):
+        data = random_rectset(100, seed=85)
+        est = ExactEstimator(data)
+        q = data.mbr()
+        assert est.estimate(q) == 100.0
+
+    def test_size_is_full_data(self):
+        data = random_rectset(100, seed=86)
+        assert ExactEstimator(data).size_words() == 400

@@ -1,0 +1,253 @@
+"""Tests for metrics, space accounting, the runner, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    ALL_TECHNIQUES,
+    SAMPLE_LIBERAL_FACTOR,
+    ExperimentRunner,
+    average_relative_error,
+    buckets_for_words,
+    build_estimator,
+    error_summary,
+    fair_sample_size,
+    paper_sample_size,
+    timed_build,
+    words_for_buckets,
+)
+from repro.eval.report import format_series, format_table, pivot_series
+from repro.workload import range_queries
+
+
+class TestMetrics:
+    def test_perfect_estimate_zero_error(self):
+        r = np.array([10.0, 20.0, 5.0])
+        assert average_relative_error(r, r) == 0.0
+
+    def test_paper_formula(self):
+        r = np.array([10.0, 10.0])
+        e = np.array([5.0, 15.0])
+        # (5 + 5) / 20
+        assert average_relative_error(r, e) == pytest.approx(0.5)
+
+    def test_weighted_by_result_size(self):
+        """Errors on big results dominate (sum-normalised, not mean)."""
+        r = np.array([1.0, 1_000.0])
+        e = np.array([2.0, 1_000.0])  # 100 % off on the tiny query
+        assert average_relative_error(r, e) < 0.01
+
+    def test_all_empty_raises(self):
+        with pytest.raises(ValueError, match="undefined"):
+            average_relative_error(np.zeros(3), np.ones(3))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            average_relative_error(np.zeros(3), np.zeros(4))
+
+    def test_error_summary_fields(self):
+        r = np.array([10.0, 0.0, 20.0])
+        e = np.array([12.0, 1.0, 20.0])
+        s = error_summary(r, e)
+        assert s.n_queries == 3
+        assert s.average_relative_error == pytest.approx(3 / 30)
+        assert s.median_per_query_error == pytest.approx(0.1)
+        assert "ARE=" in str(s)
+
+
+class TestSpace:
+    def test_words_per_bucket_is_8(self):
+        assert words_for_buckets(100) == 800
+
+    def test_roundtrip(self):
+        assert buckets_for_words(words_for_buckets(57)) == 57
+
+    def test_fair_sample_is_2x_buckets(self):
+        # 8 words/bucket vs 4 words/sample -> 2 samples per bucket
+        assert fair_sample_size(100) == 200
+
+    def test_paper_sample_is_4x_buckets(self):
+        assert paper_sample_size(100) == 400
+        assert SAMPLE_LIBERAL_FACTOR == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            words_for_buckets(-1)
+        with pytest.raises(ValueError):
+            buckets_for_words(-8)
+
+
+class TestRunner:
+    def test_unknown_technique(self, small_nj_road):
+        with pytest.raises(ValueError, match="unknown technique"):
+            build_estimator("Magic", small_nj_road, 10)
+
+    @pytest.mark.parametrize("technique", ALL_TECHNIQUES)
+    def test_every_technique_builds_and_estimates(
+        self, technique, small_nj_road
+    ):
+        est = build_estimator(
+            technique, small_nj_road, 20, n_regions=400,
+            rtree_method="str",
+        )
+        assert est.name == technique
+        queries = range_queries(small_nj_road, 0.1, 20, seed=1)
+        out = est.estimate_many(queries)
+        assert out.shape == (20,)
+        assert (out >= 0).all()
+
+    def test_space_budgets(self, small_nj_road):
+        buckets = build_estimator("Min-Skew", small_nj_road, 25,
+                                  n_regions=400)
+        sample = build_estimator("Sample", small_nj_road, 25)
+        # Sample gets exactly 2x the bucket technique's footprint
+        assert sample.size_words() == 2 * buckets.size_words()
+
+    def test_timed_build(self, small_nj_road):
+        built = timed_build("Uniform", small_nj_road, 10)
+        assert built.build_seconds >= 0.0
+        assert built.estimator.name == "Uniform"
+
+    def test_truth_cached(self, small_nj_road):
+        runner = ExperimentRunner(small_nj_road)
+        queries = range_queries(small_nj_road, 0.1, 50, seed=2)
+        a = runner.true_counts(queries)
+        b = runner.true_counts(queries)
+        assert a is b  # cache hit, not recomputation
+
+    def test_evaluate_exact_estimator_zero_error(self, small_nj_road):
+        from repro.estimators import ExactEstimator
+
+        runner = ExperimentRunner(small_nj_road)
+        queries = range_queries(small_nj_road, 0.1, 50, seed=3)
+        summary = runner.evaluate(ExactEstimator(small_nj_road), queries)
+        assert summary.average_relative_error == 0.0
+
+    def test_evaluate_technique(self, small_nj_road):
+        runner = ExperimentRunner(small_nj_road)
+        queries = range_queries(small_nj_road, 0.1, 50, seed=4)
+        errors, seconds = runner.evaluate_technique(
+            "Min-Skew", queries, 20, n_regions=400
+        )
+        assert errors.average_relative_error < 1.0
+        assert seconds > 0.0
+
+
+class TestReport:
+    RECORDS = [
+        {"technique": "A", "qsize": 0.05, "error": 0.5},
+        {"technique": "A", "qsize": 0.25, "error": 0.25},
+        {"technique": "B", "qsize": 0.05, "error": 0.125},
+    ]
+
+    def test_format_table(self):
+        text = format_table(self.RECORDS, ["technique", "qsize", "error"])
+        lines = text.splitlines()
+        assert "technique" in lines[0]
+        assert len(lines) == 2 + len(self.RECORDS)
+        assert "0.500" in text
+
+    def test_format_table_missing_column(self):
+        text = format_table(self.RECORDS, ["technique", "missing"])
+        assert "missing" in text
+
+    def test_pivot(self):
+        pivot = pivot_series(self.RECORDS)
+        assert pivot["A"] == {0.05: 0.5, 0.25: 0.25}
+        assert pivot["B"] == {0.05: 0.125}
+
+    def test_pivot_skips_incomplete(self):
+        pivot = pivot_series([{"technique": "A"}])
+        assert pivot == {}
+
+    def test_format_series(self):
+        text = format_series(self.RECORDS, title="demo")
+        assert text.startswith("demo")
+        assert "0.05" in text and "0.25" in text
+        # B has no 0.25 value: empty cell, table still renders
+        assert "B" in text
+
+
+class TestExperiments:
+    """Smoke tests of the experiment functions at miniature scale."""
+
+    def test_error_vs_qsize(self, small_nj_road):
+        from repro.eval.experiments import error_vs_qsize
+
+        records = error_vs_qsize(
+            small_nj_road,
+            techniques=("Min-Skew", "Sample"),
+            qsizes=(0.05, 0.25),
+            n_buckets=20,
+            n_queries=100,
+            n_regions=400,
+        )
+        assert len(records) == 4
+        assert all(r["error"] >= 0 for r in records)
+
+    def test_error_vs_buckets(self, small_nj_road):
+        from repro.eval.experiments import error_vs_buckets
+
+        records = error_vs_buckets(
+            small_nj_road,
+            techniques=("Min-Skew",),
+            bucket_counts=(10, 40),
+            qsizes=(0.25,),
+            n_queries=100,
+            n_regions=400,
+        )
+        errors = {r["n_buckets"]: r["error"] for r in records}
+        assert errors[40] <= errors[10] * 1.2
+
+    def test_error_vs_regions(self, small_charminar):
+        from repro.eval.experiments import error_vs_regions
+
+        records = error_vs_regions(
+            small_charminar,
+            region_counts=(100, 1_600),
+            qsizes=(0.05,),
+            n_buckets=20,
+            n_queries=100,
+        )
+        errors = {r["n_regions"]: r["error"] for r in records}
+        assert errors[1_600] < errors[100]
+
+    def test_progressive_refinement(self, small_charminar):
+        from repro.eval.experiments import progressive_refinement
+
+        records = progressive_refinement(
+            small_charminar,
+            refinement_counts=(0, 2),
+            n_regions=6_400,
+            n_buckets=20,
+            n_queries=100,
+            baseline_regions=(400,),
+        )
+        assert len(records) == 2
+        assert records[0]["baseline_error"] is not None
+
+    def test_point_query_error(self, small_charminar):
+        from repro.eval.experiments import point_query_error
+
+        records = point_query_error(
+            small_charminar,
+            techniques=("Min-Skew", "Uniform"),
+            n_buckets=20,
+            n_queries=150,
+            n_regions=400,
+        )
+        errors = {r["technique"]: r["error"] for r in records}
+        assert errors["Min-Skew"] < errors["Uniform"]
+
+    def test_construction_times(self, small_nj_road):
+        from repro.eval.experiments import construction_times
+
+        records = construction_times(
+            {"8K": small_nj_road},
+            techniques=("Min-Skew", "Uniform"),
+            bucket_counts=(20,),
+            n_regions=400,
+            rtree_method="str",
+        )
+        by_tech = {r["technique"]: r["build_seconds"] for r in records}
+        assert by_tech["Uniform"] < by_tech["Min-Skew"] * 50

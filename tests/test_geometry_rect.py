@@ -1,0 +1,174 @@
+"""Unit and property tests for repro.geometry.rect."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Rect, mbr_of
+
+COORD = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def rects(draw):
+    x1 = draw(COORD)
+    y1 = draw(COORD)
+    w = draw(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+    h = draw(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+    return Rect(x1, y1, x1 + w, y1 + h)
+
+
+class TestConstruction:
+    def test_valid(self):
+        r = Rect(0, 0, 2, 3)
+        assert r.width == 2
+        assert r.height == 3
+        assert r.area == 6
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError, match="negative extent"):
+            Rect(1, 0, 0, 1)
+        with pytest.raises(ValueError, match="negative extent"):
+            Rect(0, 1, 1, 0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Rect(0, 0, math.inf, 1)
+        with pytest.raises(ValueError, match="finite"):
+            Rect(math.nan, 0, 1, 1)
+
+    def test_from_center(self):
+        r = Rect.from_center(5, 5, 4, 2)
+        assert r.as_tuple() == (3, 4, 7, 6)
+
+    def test_from_center_negative_extent_rejected(self):
+        with pytest.raises(ValueError):
+            Rect.from_center(0, 0, -1, 1)
+
+    def test_point(self):
+        p = Rect.point(3, 4)
+        assert p.is_point
+        assert p.area == 0
+        assert p.center == (3, 4)
+
+    def test_degenerate_line_is_valid(self):
+        r = Rect(0, 0, 5, 0)
+        assert r.area == 0
+        assert not r.is_point
+
+
+class TestPredicates:
+    def test_overlapping(self):
+        assert Rect(0, 0, 2, 2).intersects(Rect(1, 1, 3, 3))
+
+    def test_disjoint(self):
+        assert not Rect(0, 0, 1, 1).intersects(Rect(2, 2, 3, 3))
+
+    def test_touching_edge_counts(self):
+        # closed rectangles: shared edge = non-empty intersection
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 0, 2, 1))
+
+    def test_touching_corner_counts(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 1, 2, 2))
+
+    def test_containment(self):
+        outer = Rect(0, 0, 10, 10)
+        inner = Rect(2, 2, 3, 3)
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+        assert outer.contains_rect(outer)
+
+    def test_contains_point_boundary(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains_point(0, 0)
+        assert r.contains_point(1, 1)
+        assert not r.contains_point(1.001, 0.5)
+
+
+class TestCombinators:
+    def test_intersection(self):
+        r = Rect(0, 0, 2, 2).intersection(Rect(1, 1, 3, 3))
+        assert r.as_tuple() == (1, 1, 2, 2)
+
+    def test_intersection_disjoint_raises(self):
+        with pytest.raises(ValueError, match="do not intersect"):
+            Rect(0, 0, 1, 1).intersection(Rect(5, 5, 6, 6))
+
+    def test_intersection_area(self):
+        assert Rect(0, 0, 2, 2).intersection_area(Rect(1, 1, 3, 3)) == 1.0
+        assert Rect(0, 0, 1, 1).intersection_area(Rect(5, 5, 6, 6)) == 0.0
+        # touching: zero area but intersecting
+        assert Rect(0, 0, 1, 1).intersection_area(Rect(1, 0, 2, 1)) == 0.0
+
+    def test_union(self):
+        u = Rect(0, 0, 1, 1).union(Rect(2, 2, 3, 3))
+        assert u.as_tuple() == (0, 0, 3, 3)
+
+    def test_enlargement(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.enlargement(Rect(0, 0, 1, 1)) == 0.0
+        assert r.enlargement(Rect(0, 0, 2, 1)) == pytest.approx(1.0)
+
+    def test_expanded(self):
+        r = Rect(1, 1, 3, 3).expanded(1, 2)
+        assert r.as_tuple() == (0, -1, 4, 5)
+
+    def test_expanded_negative_clamps_to_center(self):
+        r = Rect(0, 0, 2, 2).expanded(-5, -5)
+        assert r.as_tuple() == (1, 1, 1, 1)
+
+    def test_margin(self):
+        assert Rect(0, 0, 2, 3).margin == 5.0
+
+    def test_iter(self):
+        assert list(Rect(1, 2, 3, 4)) == [1, 2, 3, 4]
+
+
+class TestMbrOf:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mbr_of([])
+
+    def test_single(self):
+        r = Rect(1, 2, 3, 4)
+        assert mbr_of([r]) == r
+
+    def test_many(self):
+        result = mbr_of([Rect(0, 0, 1, 1), Rect(5, -2, 6, 0)])
+        assert result.as_tuple() == (0, -2, 6, 1)
+
+
+class TestProperties:
+    @given(rects(), rects())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(rects(), rects())
+    def test_intersection_area_bounded(self, a, b):
+        area = a.intersection_area(b)
+        assert 0.0 <= area <= min(a.area, b.area) + 1e-6
+
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a)
+        assert u.contains_rect(b)
+
+    @given(rects(), rects())
+    def test_intersects_iff_positive_or_touching(self, a, b):
+        # if the overlap area is positive they must intersect
+        if a.intersection_area(b) > 0:
+            assert a.intersects(b)
+
+    @given(rects())
+    def test_center_inside(self, r):
+        cx, cy = r.center
+        assert r.contains_point(cx, cy)
+
+    @given(rects(), rects())
+    def test_enlargement_non_negative(self, a, b):
+        assert a.enlargement(b) >= -1e-6

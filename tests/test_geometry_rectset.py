@@ -1,0 +1,163 @@
+"""Unit and property tests for repro.geometry.rectset."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry import Rect, RectSet
+
+
+def make_set(rows):
+    return RectSet(np.asarray(rows, dtype=float))
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="N, 4"):
+            RectSet(np.zeros((3, 3)))
+        with pytest.raises(ValueError, match="N, 4"):
+            RectSet(np.zeros(4))
+
+    def test_negative_extent_reported_with_index(self):
+        with pytest.raises(ValueError, match="rectangle 1"):
+            make_set([[0, 0, 1, 1], [2, 2, 1, 3]])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            make_set([[0, 0, np.inf, 1]])
+
+    def test_immutability(self):
+        rs = make_set([[0, 0, 1, 1]])
+        with pytest.raises(ValueError):
+            rs.coords[0, 0] = 5.0
+
+    def test_copy_semantics(self):
+        src = np.array([[0.0, 0.0, 1.0, 1.0]])
+        rs = RectSet(src, copy=True)
+        src[0, 0] = -10.0
+        assert rs.x1[0] == 0.0
+
+    def test_from_rects_roundtrip(self):
+        rects = [Rect(0, 0, 1, 2), Rect(3, 4, 5, 6)]
+        rs = RectSet.from_rects(rects)
+        assert list(rs) == rects
+
+    def test_from_rects_empty(self):
+        assert len(RectSet.from_rects([])) == 0
+
+    def test_from_centers(self):
+        rs = RectSet.from_centers([5.0], [5.0], [2.0], [4.0])
+        assert rs[0].as_tuple() == (4, 3, 6, 7)
+
+    def test_from_centers_negative_extent(self):
+        with pytest.raises(ValueError):
+            RectSet.from_centers([0.0], [0.0], [-1.0], [1.0])
+
+    def test_empty(self):
+        rs = RectSet.empty()
+        assert len(rs) == 0
+        with pytest.raises(ValueError):
+            rs.mbr()
+
+
+class TestStatistics:
+    def test_mbr(self):
+        rs = make_set([[0, 0, 1, 1], [5, -2, 6, 3]])
+        assert rs.mbr().as_tuple() == (0, -2, 6, 3)
+
+    def test_total_area(self):
+        rs = make_set([[0, 0, 1, 1], [0, 0, 2, 3]])
+        assert rs.total_area() == 7.0
+
+    def test_avg_extents(self):
+        rs = make_set([[0, 0, 2, 2], [0, 0, 4, 6]])
+        assert rs.avg_width() == 3.0
+        assert rs.avg_height() == 4.0
+
+    def test_avg_extents_empty(self):
+        assert RectSet.empty().avg_width() == 0.0
+        assert RectSet.empty().avg_height() == 0.0
+
+    def test_centers(self):
+        rs = make_set([[0, 0, 2, 4]])
+        np.testing.assert_array_equal(rs.centers(), [[1.0, 2.0]])
+
+
+class TestQueries:
+    def test_count_intersecting_matches_scalar(self, mixed_rects):
+        query = Rect(200, 200, 600, 500)
+        expected = sum(
+            1 for r in mixed_rects if r.intersects(query)
+        )
+        assert mixed_rects.count_intersecting(query) == expected
+
+    def test_touching_counts(self):
+        rs = make_set([[0, 0, 1, 1]])
+        assert rs.count_intersecting(Rect(1, 1, 2, 2)) == 1
+
+    def test_select_mask(self):
+        rs = make_set([[0, 0, 1, 1], [2, 2, 3, 3], [4, 4, 5, 5]])
+        sub = rs.select(np.array([True, False, True]))
+        assert len(sub) == 2
+        assert sub[1].x1 == 4
+
+    def test_sample_without_replacement(self, mixed_rects, rng):
+        sample = mixed_rects.sample(100, rng)
+        assert len(sample) == 100
+        # all sampled rows exist in the source
+        src = {tuple(row) for row in mixed_rects.coords}
+        assert all(tuple(row) in src for row in sample.coords)
+
+    def test_sample_larger_than_population(self, rng):
+        rs = make_set([[0, 0, 1, 1]])
+        assert len(rs.sample(10, rng)) == 1
+
+    def test_sample_negative_raises(self, rng):
+        with pytest.raises(ValueError):
+            RectSet.empty().sample(-1, rng)
+
+    def test_concat(self):
+        a = make_set([[0, 0, 1, 1]])
+        b = make_set([[2, 2, 3, 3]])
+        c = a.concat(b)
+        assert len(c) == 2
+        assert c[1].x1 == 2
+
+    def test_equality(self):
+        a = make_set([[0, 0, 1, 1]])
+        assert a == make_set([[0, 0, 1, 1]])
+        assert a != make_set([[0, 0, 1, 2]])
+
+
+class TestProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 40)),
+            elements=st.floats(0, 100, allow_nan=False),
+        ),
+        st.integers(0, 3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_mask_consistent_with_count(self, xs, pad):
+        n = len(xs)
+        coords = np.column_stack((xs, xs, xs + pad, xs + pad + 1))
+        rs = RectSet(coords)
+        q = Rect(10, 10, 60, 60)
+        assert rs.intersects_mask(q).sum() == rs.count_intersecting(q)
+
+    @given(st.integers(1, 30), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_mbr_contains_all(self, n, seed):
+        gen = np.random.default_rng(seed)
+        rs = RectSet.from_centers(
+            gen.uniform(0, 100, n),
+            gen.uniform(0, 100, n),
+            gen.uniform(0, 10, n),
+            gen.uniform(0, 10, n),
+        )
+        mbr = rs.mbr()
+        for r in rs:
+            assert mbr.contains_rect(r)

@@ -1,0 +1,204 @@
+"""Tests for density grids, integral images, and split search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect, RectSet
+from repro.grid import (
+    BlockStats,
+    DensityGrid,
+    best_split_of_marginal,
+    square_grid_shape,
+)
+
+from .test_rtree_rstar import random_rectset
+
+
+class TestDensityGrid:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            DensityGrid(np.zeros(5), Rect(0, 0, 1, 1))
+        with pytest.raises(ValueError, match="positive area"):
+            DensityGrid(np.zeros((2, 2)), Rect(0, 0, 0, 1))
+        with pytest.raises(ValueError, match="positive"):
+            DensityGrid.from_rects(
+                RectSet(np.array([[0.0, 0.0, 1.0, 1.0]])), 0, 5
+            )
+
+    def test_single_rect_single_cell(self):
+        rs = RectSet(np.array([[0.0, 0.0, 10.0, 10.0]]))
+        g = DensityGrid.from_rects(rs, 1, 1)
+        assert g.densities[0, 0] == 1.0
+
+    def test_densities_match_bruteforce(self):
+        rs = random_rectset(800, seed=30)
+        g = DensityGrid.from_rects(rs, 16, 12)
+        for ix in range(0, 16, 5):
+            for iy in range(0, 12, 4):
+                cell = g.cell_rect(ix, iy)
+                assert g.densities[ix, iy] == \
+                    rs.count_intersecting(cell), (ix, iy)
+
+    def test_rect_spanning_cells_counts_in_each(self):
+        # one rect covering the full 4x4 grid: density 1 everywhere
+        rs = RectSet(np.array([[0.0, 0.0, 100.0, 100.0]]))
+        g = DensityGrid.from_rects(rs, 4, 4,
+                                   bounds=Rect(0, 0, 100, 100))
+        assert (g.densities == 1.0).all()
+
+    def test_cell_geometry(self):
+        rs = RectSet(np.array([[0.0, 0.0, 100.0, 50.0]]))
+        g = DensityGrid.from_rects(rs, 10, 5)
+        assert g.cell_width == 10.0
+        assert g.cell_height == 10.0
+        assert g.cell_rect(0, 0).as_tuple() == (0, 0, 10, 10)
+        assert g.cell_rect(9, 4).as_tuple() == (90, 40, 100, 50)
+        with pytest.raises(IndexError):
+            g.cell_rect(10, 0)
+
+    def test_block_rect(self):
+        rs = RectSet(np.array([[0.0, 0.0, 100.0, 100.0]]))
+        g = DensityGrid.from_rects(rs, 10, 10)
+        assert g.block_rect(2, 4, 3, 5).as_tuple() == (20, 30, 50, 60)
+        with pytest.raises(IndexError):
+            g.block_rect(4, 2, 0, 0)  # ix0 > ix1
+
+    def test_refined_doubles_resolution(self):
+        rs = random_rectset(200, seed=31)
+        g = DensityGrid.from_rects(rs, 8, 8)
+        fine = g.refined()
+        assert fine.shape() == (16, 16)
+        # refined densities are recomputed, not subdivided: a coarse
+        # cell's density is at most the sum of its fine children but at
+        # least their max
+        coarse = g.densities
+        blocks = fine.densities.reshape(8, 2, 8, 2)
+        child_max = blocks.max(axis=(1, 3))
+        child_sum = blocks.sum(axis=(1, 3))
+        assert (coarse >= child_max - 1e-9).all()
+        assert (coarse <= child_sum + 1e-9).all()
+
+    def test_refined_without_source_raises(self):
+        g = DensityGrid(np.ones((2, 2)), Rect(0, 0, 1, 1))
+        with pytest.raises(ValueError, match="source"):
+            g.refined()
+
+    def test_from_points(self):
+        pts = np.array([[0.5, 0.5], [9.5, 9.5], [9.9, 9.9]])
+        g = DensityGrid.from_points(pts, 2, 2, bounds=Rect(0, 0, 10, 10))
+        assert g.densities[0, 0] == 1
+        assert g.densities[1, 1] == 2
+        assert g.total_density() == 3
+
+    def test_total_density_at_least_n(self):
+        rs = random_rectset(300, seed=32)
+        g = DensityGrid.from_rects(rs, 20, 20)
+        # every rect hits >= 1 cell
+        assert g.total_density() >= 300
+
+
+class TestSquareGridShape:
+    def test_square_bounds(self):
+        nx, ny = square_grid_shape(10_000, Rect(0, 0, 100, 100))
+        assert nx == 100 and ny == 100
+
+    def test_rectangular_bounds_keeps_cells_square(self):
+        bounds = Rect(0, 0, 400, 100)
+        nx, ny = square_grid_shape(10_000, bounds)
+        cell_w = bounds.width / nx
+        cell_h = bounds.height / ny
+        assert cell_w == pytest.approx(cell_h, rel=0.1)
+        assert abs(nx * ny - 10_000) < 0.1 * 10_000
+
+    def test_tiny(self):
+        assert square_grid_shape(1, Rect(0, 0, 1, 1)) == (1, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            square_grid_shape(0, Rect(0, 0, 1, 1))
+
+
+class TestBlockStats:
+    @pytest.fixture(scope="class")
+    def values(self):
+        gen = np.random.default_rng(33)
+        return gen.integers(0, 50, (14, 9)).astype(float)
+
+    @pytest.fixture(scope="class")
+    def stats(self, values):
+        return BlockStats(values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockStats(np.zeros(4))
+
+    @pytest.mark.parametrize(
+        "block", [(0, 13, 0, 8), (0, 0, 0, 0), (3, 7, 2, 6), (13, 13, 8, 8)]
+    )
+    def test_block_aggregates(self, values, stats, block):
+        ix0, ix1, iy0, iy1 = block
+        sub = values[ix0:ix1 + 1, iy0:iy1 + 1]
+        assert stats.block_sum(*block) == pytest.approx(sub.sum())
+        assert stats.block_sumsq(*block) == pytest.approx((sub ** 2).sum())
+        assert stats.block_mean(*block) == pytest.approx(sub.mean())
+        assert stats.block_sse(*block) == pytest.approx(
+            ((sub - sub.mean()) ** 2).sum(), abs=1e-6
+        )
+        assert stats.block_variance(*block) == pytest.approx(
+            sub.var(), abs=1e-9
+        )
+
+    def test_marginals(self, values, stats):
+        block = (2, 9, 1, 7)
+        sub = values[2:10, 1:8]
+        np.testing.assert_allclose(
+            stats.marginal_x(*block), sub.sum(axis=1)
+        )
+        np.testing.assert_allclose(
+            stats.marginal_y(*block), sub.sum(axis=0)
+        )
+
+    def test_sse_tiny_on_constant(self):
+        """Float cancellation may leave epsilon SSE, never negative."""
+        stats = BlockStats(np.full((6, 6), 3.7))
+        sse = stats.block_sse(0, 5, 0, 5)
+        assert 0.0 <= sse < 1e-9
+
+
+class TestBestSplit:
+    def test_too_short(self):
+        assert best_split_of_marginal(np.array([5.0])) == (0, 0.0)
+        assert best_split_of_marginal(np.array([])) == (0, 0.0)
+
+    def test_obvious_step(self):
+        k, red = best_split_of_marginal(
+            np.array([1.0, 1.0, 1.0, 9.0, 9.0, 9.0])
+        )
+        assert k == 3
+        assert red > 0
+
+    def test_constant_gives_zero_reduction(self):
+        k, red = best_split_of_marginal(np.full(10, 4.0))
+        assert red == 0.0
+        assert 1 <= k <= 9
+
+    @given(
+        st.lists(st.floats(0, 1000, allow_nan=False), min_size=2,
+                 max_size=40)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_split_is_optimal(self, data):
+        m = np.asarray(data)
+        k, red = best_split_of_marginal(m)
+
+        def sse(v):
+            return ((v - v.mean()) ** 2).sum() if v.size else 0.0
+
+        whole = sse(m)
+        best_red = max(
+            whole - sse(m[:j]) - sse(m[j:]) for j in range(1, len(m))
+        )
+        assert red == pytest.approx(max(best_red, 0.0), abs=1e-4)
+        assert 1 <= k < len(m)

@@ -1,0 +1,185 @@
+"""End-to-end integration tests: the paper's qualitative claims.
+
+These are the statements the paper's evaluation argues for; each test
+exercises the full pipeline (dataset → technique → workload → oracle →
+error metric) and asserts the *shape* of the result, not absolute
+numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MinSkewPartitioner, grouping_skew_on_boxes
+from repro.data import charminar, nj_road_like
+from repro.estimators import BucketEstimator
+from repro.eval import ExperimentRunner, build_estimator
+from repro.grid import DensityGrid
+from repro.partitioners import (
+    EquiAreaPartitioner,
+    EquiCountPartitioner,
+    RTreePartitioner,
+)
+from repro.workload import range_queries
+
+
+@pytest.fixture(scope="module")
+def nj():
+    return nj_road_like(20_000, seed=2024)
+
+
+@pytest.fixture(scope="module")
+def nj_runner(nj):
+    return ExperimentRunner(nj)
+
+
+def technique_error(runner, data, technique, queries, n_buckets=100,
+                    **kwargs):
+    kwargs.setdefault("rtree_method", "str")
+    kwargs.setdefault("n_regions", 2_500)
+    est = build_estimator(technique, data, n_buckets, **kwargs)
+    return runner.evaluate(est, queries).average_relative_error
+
+
+class TestHeadlineClaims:
+    """Section 5.5: Min-Skew 'is a winner by a huge margin'."""
+
+    @pytest.mark.parametrize("qsize", [0.05, 0.25])
+    def test_minskew_beats_every_baseline(self, nj, nj_runner, qsize):
+        queries = range_queries(nj, qsize, 800, seed=90)
+        minskew = technique_error(nj_runner, nj, "Min-Skew", queries)
+        for baseline in ("Equi-Area", "Equi-Count", "R-Tree", "Sample",
+                         "Uniform", "Fractal"):
+            err = technique_error(nj_runner, nj, baseline, queries)
+            assert minskew < err, (
+                f"Min-Skew ({minskew:.3f}) should beat {baseline} "
+                f"({err:.3f}) at QSize={qsize}"
+            )
+
+    def test_minskew_margin_over_closest_competitor(self, nj, nj_runner):
+        """'Improves ... by over 50% in most of the cases': demand a
+        healthy margin (>= 30 %) over the best baseline here."""
+        queries = range_queries(nj, 0.05, 800, seed=91)
+        minskew = technique_error(nj_runner, nj, "Min-Skew", queries)
+        best_baseline = min(
+            technique_error(nj_runner, nj, t, queries)
+            for t in ("Equi-Area", "Equi-Count", "R-Tree", "Sample")
+        )
+        assert minskew < 0.7 * best_baseline
+
+    def test_error_decreases_with_query_size(self, nj, nj_runner):
+        """Figure 8's x-axis trend, for every bucket technique."""
+        small = range_queries(nj, 0.02, 800, seed=92)
+        large = range_queries(nj, 0.25, 800, seed=93)
+        for technique in ("Min-Skew", "Equi-Area", "Equi-Count"):
+            err_small = technique_error(nj_runner, nj, technique, small)
+            err_large = technique_error(nj_runner, nj, technique, large)
+            assert err_large < err_small
+
+    def test_error_decreases_with_buckets(self, nj, nj_runner):
+        """Figure 9's x-axis trend for Min-Skew."""
+        queries = range_queries(nj, 0.05, 800, seed=94)
+        errs = [
+            technique_error(nj_runner, nj, "Min-Skew", queries,
+                            n_buckets=beta)
+            for beta in (25, 100, 400)
+        ]
+        assert errs[2] < errs[0]
+
+    def test_uniform_is_poor_on_real_data(self, nj, nj_runner):
+        """'Real-life spatial data is inherently skewed and thus cannot
+        be captured by a trivial single bucket approximation.'"""
+        queries = range_queries(nj, 0.05, 800, seed=95)
+        uniform = technique_error(nj_runner, nj, "Uniform", queries)
+        minskew = technique_error(nj_runner, nj, "Min-Skew", queries)
+        assert uniform > 4 * minskew
+
+    def test_sampling_poor_at_small_queries(self, nj, nj_runner):
+        """'Sampling performs quite poorly' for small query sizes."""
+        queries = range_queries(nj, 0.02, 800, seed=96)
+        sample = technique_error(nj_runner, nj, "Sample", queries)
+        minskew = technique_error(nj_runner, nj, "Min-Skew", queries)
+        assert sample > 2 * minskew
+
+
+class TestSkewClaim:
+    def test_minskew_has_lowest_spatial_skew(self, nj):
+        """Min-Skew optimises Definition 4.1 and should achieve lower
+        grouping skew than the skew-oblivious partitionings."""
+        grid = DensityGrid.from_rects(nj, 50, 50)
+        beta = 50
+
+        def skew_of(partitioner):
+            buckets = partitioner.partition(nj)
+            return grouping_skew_on_boxes(
+                grid, [b.bbox for b in buckets]
+            )
+
+        minskew = skew_of(MinSkewPartitioner(beta, n_regions=2_500))
+        equi_area = skew_of(EquiAreaPartitioner(beta))
+        rtree = skew_of(RTreePartitioner(beta, method="str"))
+        assert minskew < equi_area
+        assert minskew < rtree
+
+    def test_minskew_beats_equi_count_skew(self, nj):
+        grid = DensityGrid.from_rects(nj, 50, 50)
+        minskew_buckets = MinSkewPartitioner(
+            50, n_regions=2_500
+        ).partition(nj)
+        equi_count_buckets = EquiCountPartitioner(50).partition(nj)
+        assert grouping_skew_on_boxes(
+            grid, [b.bbox for b in minskew_buckets]
+        ) < grouping_skew_on_boxes(
+            grid, [b.bbox for b in equi_count_buckets]
+        )
+
+
+class TestCharminarClaims:
+    """Section 5.5.3/5.6: the region-count anomaly and its repair."""
+
+    @pytest.fixture(scope="class")
+    def ch(self):
+        return charminar()
+
+    @pytest.fixture(scope="class")
+    def ch_runner(self, ch):
+        return ExperimentRunner(ch)
+
+    def test_small_queries_improve_with_regions(self, ch, ch_runner):
+        queries = range_queries(ch, 0.05, 600, seed=97)
+        coarse = technique_error(ch_runner, ch, "Min-Skew", queries,
+                                 n_buckets=50, n_regions=400)
+        fine = technique_error(ch_runner, ch, "Min-Skew", queries,
+                               n_buckets=50, n_regions=6_400)
+        assert fine < coarse
+
+    def test_large_queries_degrade_with_regions(self, ch, ch_runner):
+        """Figure 10(b): 'the error for Min-Skew for the large queries
+        actually gets worse with more regions!'"""
+        queries = range_queries(ch, 0.25, 600, seed=98)
+        coarse = technique_error(ch_runner, ch, "Min-Skew", queries,
+                                 n_buckets=50, n_regions=400)
+        fine = technique_error(ch_runner, ch, "Min-Skew", queries,
+                               n_buckets=50, n_regions=30_000)
+        assert fine > 2 * coarse
+
+    def test_refinement_recovers_most_of_the_loss(self, ch, ch_runner):
+        """Figure 11: refinements 'cause the error to drop by over
+        55%' but 'do not cause the error to drop to the absolute
+        minimal level'."""
+        queries = range_queries(ch, 0.25, 600, seed=99)
+
+        def err(refinements):
+            est = BucketEstimator.build(
+                MinSkewPartitioner(50, n_regions=30_000,
+                                   refinements=refinements), ch
+            )
+            return ch_runner.evaluate(
+                est, queries
+            ).average_relative_error
+
+        plain = err(0)
+        best = min(err(r) for r in (2, 4, 6))
+        optimum = technique_error(ch_runner, ch, "Min-Skew", queries,
+                                  n_buckets=50, n_regions=400)
+        assert best < 0.8 * plain  # helps considerably
+        assert best > optimum  # but does not reach the optimum

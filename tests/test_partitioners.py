@@ -1,0 +1,201 @@
+"""Tests for the Equi-Area, Equi-Count, and R-Tree partitioners."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect, RectSet
+from repro.partitioners import (
+    EquiAreaPartitioner,
+    EquiCountPartitioner,
+    Partitioner,
+    RTreePartitioner,
+)
+
+from .test_rtree_rstar import random_rectset
+
+ALL_PARTITIONERS = [
+    lambda beta: EquiAreaPartitioner(beta),
+    lambda beta: EquiCountPartitioner(beta),
+    lambda beta: RTreePartitioner(beta, method="str"),
+]
+
+
+class TestBase:
+    def test_quota_validation(self):
+        with pytest.raises(ValueError):
+            EquiAreaPartitioner(0)
+
+    def test_abstract(self):
+        with pytest.raises(TypeError):
+            Partitioner(5)  # type: ignore[abstract]
+
+
+@pytest.mark.parametrize("factory", ALL_PARTITIONERS,
+                         ids=["equi-area", "equi-count", "rtree"])
+class TestCommonContract:
+    """Invariants every grouping technique must satisfy."""
+
+    def test_empty_input_raises(self, factory):
+        with pytest.raises(ValueError):
+            factory(5).partition(RectSet.empty())
+
+    def test_quota_never_exceeded(self, factory, small_nj_road):
+        for beta in (1, 10, 64):
+            buckets = factory(beta).partition(small_nj_road)
+            assert 1 <= len(buckets) <= beta
+
+    def test_counts_partition_input(self, factory, small_nj_road):
+        buckets = factory(32).partition(small_nj_road)
+        assert sum(b.count for b in buckets) == len(small_nj_road)
+
+    def test_boxes_cover_members(self, factory, small_charminar):
+        """Every rectangle's center lies inside its bucket's box.
+
+        (Bucket boxes may overlap for Equi-* and R-Tree; coverage of the
+        assigned members is what estimation correctness needs.)"""
+        buckets = factory(16).partition(small_charminar)
+        # reconstruct: a center must be inside at least one bucket box
+        centers = small_charminar.centers()
+        for cx, cy in centers[:: max(1, len(centers) // 200)]:
+            assert any(
+                b.bbox.contains_point(cx, cy) for b in buckets
+                if b.count > 0
+            )
+
+    def test_deterministic(self, factory, small_nj_road):
+        a = factory(20).partition(small_nj_road)
+        b = factory(20).partition(small_nj_road)
+        assert [x.bbox for x in a] == [x.bbox for x in b]
+
+    def test_single_bucket(self, factory, small_nj_road):
+        buckets = factory(1).partition(small_nj_road)
+        assert len(buckets) == 1
+        assert buckets[0].count == len(small_nj_road)
+
+    def test_identical_rects(self, factory):
+        rs = RectSet(np.tile([[5.0, 5.0, 7.0, 7.0]], (40, 1)))
+        buckets = factory(8).partition(rs)
+        assert sum(b.count for b in buckets) == 40
+
+
+class TestEquiArea:
+    def test_areas_roughly_equal_on_uniform(self, small_uniform):
+        buckets = EquiAreaPartitioner(16).partition(small_uniform)
+        areas = np.array([b.bbox.area for b in buckets])
+        # recomputed MBRs shrink boxes a little; allow slack
+        assert areas.max() / areas.min() < 6.0
+
+    def test_splits_longest_dimension_first(self):
+        # a wide strip of two distant clusters: the first split must be
+        # vertical (x), separating them
+        gen = np.random.default_rng(50)
+        left = RectSet.from_centers(
+            gen.uniform(0, 100, 50), gen.uniform(0, 100, 50),
+            np.full(50, 2.0), np.full(50, 2.0))
+        right = RectSet.from_centers(
+            gen.uniform(900, 1000, 50), gen.uniform(0, 100, 50),
+            np.full(50, 2.0), np.full(50, 2.0))
+        buckets = EquiAreaPartitioner(2).partition(left.concat(right))
+        xs = sorted(b.bbox.center[0] for b in buckets)
+        assert xs[0] < 200 and xs[1] > 800
+        assert all(b.count == 50 for b in buckets)
+
+    def test_colinear_centers(self):
+        """All centers on a vertical line: only y-splits possible."""
+        rs = RectSet.from_centers(
+            np.full(30, 5.0), np.linspace(0, 100, 30),
+            np.full(30, 1.0), np.full(30, 1.0),
+        )
+        buckets = EquiAreaPartitioner(4).partition(rs)
+        assert len(buckets) == 4
+        assert sum(b.count for b in buckets) == 30
+
+
+class TestEquiCount:
+    def test_counts_roughly_equal(self, small_charminar):
+        buckets = EquiCountPartitioner(16).partition(small_charminar)
+        counts = np.array([b.count for b in buckets])
+        # median splits give near-perfect balance
+        assert counts.max() <= 2.5 * max(counts.min(), 1)
+
+    def test_denser_areas_get_smaller_buckets(self, small_charminar):
+        """Equi-Count 'contains more buckets in the denser areas':
+        with equalised counts, boxes in the dense corners are
+        geometrically far smaller than interior boxes."""
+        buckets = EquiCountPartitioner(32).partition(small_charminar)
+        space = small_charminar.mbr()
+        zone = 0.25 * space.width
+
+        def in_corner(b):
+            cx, cy = b.bbox.center
+            return (
+                (cx < space.x1 + zone or cx > space.x2 - zone)
+                and (cy < space.y1 + zone or cy > space.y2 - zone)
+            )
+
+        corner_areas = [b.bbox.area for b in buckets if in_corner(b)]
+        other_areas = [b.bbox.area for b in buckets if not in_corner(b)]
+        assert corner_areas, "no buckets ended up in the corners"
+        assert np.median(corner_areas) < 0.2 * np.median(other_areas)
+
+    def test_unsplittable_degenerate(self):
+        """All rects identical: no projected count above 1 anywhere."""
+        rs = RectSet(np.tile([[0.0, 0.0, 1.0, 1.0]], (10, 1)))
+        buckets = EquiCountPartitioner(4).partition(rs)
+        assert len(buckets) == 1
+
+
+class TestRTreePartitioner:
+    def test_method_validation(self):
+        with pytest.raises(ValueError):
+            RTreePartitioner(10, method="quantum")
+
+    def test_insert_method(self, small_nj_road):
+        buckets = RTreePartitioner(20, method="insert").partition(
+            small_nj_road
+        )
+        assert 1 <= len(buckets) <= 20
+        assert sum(b.count for b in buckets) == len(small_nj_road)
+
+    def test_close_to_quota(self, small_nj_road):
+        """'close to the number we desired but ... never exceeded'."""
+        for beta in (25, 100):
+            buckets = RTreePartitioner(
+                beta, method="str"
+            ).partition(small_nj_road)
+            assert len(buckets) <= beta
+            assert len(buckets) >= beta / 8
+
+    def test_explicit_fanout(self, small_nj_road):
+        buckets = RTreePartitioner(
+            50, method="str", max_entries=32
+        ).partition(small_nj_road)
+        assert 1 <= len(buckets) <= 50
+
+    def test_bucket_boxes_cover_members_exactly(self, small_nj_road):
+        """Node MBRs are tight around their subtree's rectangles."""
+        buckets = RTreePartitioner(10, method="str").partition(
+            small_nj_road
+        )
+        # bucket boxes jointly cover the dataset MBR corners
+        mbr = small_nj_road.mbr()
+        union_x1 = min(b.bbox.x1 for b in buckets)
+        union_y1 = min(b.bbox.y1 for b in buckets)
+        union_x2 = max(b.bbox.x2 for b in buckets)
+        union_y2 = max(b.bbox.y2 for b in buckets)
+        assert (union_x1, union_y1, union_x2, union_y2) == \
+            pytest.approx(mbr.as_tuple())
+
+
+class TestProperties:
+    @given(st.integers(0, 10_000), st.integers(1, 25))
+    @settings(max_examples=10, deadline=None)
+    def test_random_inputs_all_partitioners(self, seed, beta):
+        rs = random_rectset(int(np.random.default_rng(seed)
+                                .integers(2, 120)), seed=seed)
+        for factory in ALL_PARTITIONERS:
+            buckets = factory(beta).partition(rs)
+            assert 1 <= len(buckets) <= beta
+            assert sum(b.count for b in buckets) == len(rs)

@@ -1,0 +1,78 @@
+"""Tests for the fixed-grid control partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.core import MinSkewPartitioner
+from repro.estimators import BucketEstimator
+from repro.eval import ExperimentRunner, build_estimator
+from repro.geometry import RectSet
+from repro.partitioners import FixedGridPartitioner
+from repro.workload import range_queries
+
+
+class TestFixedGrid:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            FixedGridPartitioner(4).partition(RectSet.empty())
+
+    def test_quota_never_exceeded(self, small_nj_road):
+        for beta in (1, 7, 50, 120):
+            buckets = FixedGridPartitioner(beta).partition(
+                small_nj_road
+            )
+            assert 1 <= len(buckets) <= beta
+
+    def test_counts_partition_input(self, small_nj_road):
+        buckets = FixedGridPartitioner(36).partition(small_nj_road)
+        assert sum(b.count for b in buckets) == len(small_nj_road)
+
+    def test_tiles_are_uniform_and_disjoint(self, small_uniform):
+        buckets = FixedGridPartitioner(25).partition(small_uniform)
+        areas = {round(b.bbox.area, 6) for b in buckets}
+        assert len(areas) == 1  # equal tiles
+        total = sum(b.bbox.area for b in buckets)
+        assert total == pytest.approx(small_uniform.mbr().area)
+
+    def test_extreme_aspect_ratio(self):
+        """A very wide space must not collapse the y-resolution to 0."""
+        gen = np.random.default_rng(0)
+        rs = RectSet.from_centers(
+            gen.uniform(0, 1e6, 50), gen.uniform(0, 10, 50),
+            np.full(50, 1.0), np.full(50, 0.1),
+        )
+        for beta in (1, 3, 10):
+            buckets = FixedGridPartitioner(beta).partition(rs)
+            assert 1 <= len(buckets) <= beta
+            assert sum(b.count for b in buckets) == 50
+
+    def test_degenerate_space(self):
+        rs = RectSet(np.tile([[1.0, 1.0, 1.0, 1.0]], (5, 1)))
+        buckets = FixedGridPartitioner(9).partition(rs)
+        assert len(buckets) == 1
+        assert buckets[0].count == 5
+
+    def test_available_through_runner(self, small_nj_road):
+        est = build_estimator("Grid", small_nj_road, 36)
+        assert est.name == "Grid"
+        queries = range_queries(small_nj_road, 0.1, 30, seed=1)
+        assert (est.estimate_many(queries) >= 0).all()
+
+    def test_minskew_beats_grid_on_skewed_data(self, small_charminar):
+        """The control's purpose: same bucket shape, no skew awareness —
+        Min-Skew must clearly win on skewed data."""
+        runner = ExperimentRunner(small_charminar)
+        queries = range_queries(small_charminar, 0.05, 400, seed=2)
+        grid_est = BucketEstimator.build(
+            FixedGridPartitioner(49), small_charminar
+        )
+        minskew_est = BucketEstimator.build(
+            MinSkewPartitioner(49, n_regions=2_500), small_charminar
+        )
+        grid_err = runner.evaluate(
+            grid_est, queries
+        ).average_relative_error
+        minskew_err = runner.evaluate(
+            minskew_est, queries
+        ).average_relative_error
+        assert minskew_err < 0.7 * grid_err

@@ -1,0 +1,111 @@
+"""Cross-module property tests: invariants spanning the whole pipeline.
+
+Each property here holds for *any* dataset, technique, and workload the
+library can produce; hypothesis drives the generation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import pack_buckets, unpack_buckets
+from repro.counting import ExactCountOracle
+from repro.estimators import BucketEstimator
+from repro.eval import build_estimator
+from repro.geometry import RectSet
+from repro.workload import range_queries
+
+BUCKET_TECHNIQUES = ("Min-Skew", "Equi-Area", "Equi-Count", "Grid")
+
+
+def random_dataset(seed: int) -> RectSet:
+    gen = np.random.default_rng(seed)
+    n = int(gen.integers(5, 250))
+    style = gen.integers(0, 3)
+    if style == 0:  # uniform
+        cx = gen.uniform(0, 1_000, n)
+        cy = gen.uniform(0, 1_000, n)
+    elif style == 1:  # clustered
+        k = int(gen.integers(1, 5))
+        centers = gen.uniform(100, 900, (k, 2))
+        pick = gen.integers(0, k, n)
+        cx = centers[pick, 0] + gen.normal(0, 40, n)
+        cy = centers[pick, 1] + gen.normal(0, 40, n)
+    else:  # corner skew
+        cx = gen.uniform(0, 1_000, n) ** 2 / 1_000
+        cy = gen.uniform(0, 1_000, n) ** 2 / 1_000
+    w = gen.uniform(0, 50, n)
+    h = gen.uniform(0, 50, n)
+    return RectSet.from_centers(
+        np.clip(cx, 0, 1_000), np.clip(cy, 0, 1_000), w, h
+    )
+
+
+class TestPipelineInvariants:
+    @given(st.integers(0, 10_000),
+           st.sampled_from(BUCKET_TECHNIQUES),
+           st.integers(1, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_estimates_bounded_and_total_preserved(
+        self, seed, technique, beta
+    ):
+        """Any bucket technique: estimates are in [0, N], the bucket
+        counts sum to N, and the full-space estimate is N."""
+        data = random_dataset(seed)
+        est = build_estimator(technique, data, beta, n_regions=64,
+                              rtree_method="str")
+        assert est.total_count() == len(data)
+        queries = range_queries(data, 0.2, 10, seed=seed + 1)
+        out = est.estimate_many(queries)
+        assert (out >= 0).all()
+        assert (out <= len(data) + 1e-6).all()
+        assert est.estimate(data.mbr()) == pytest.approx(len(data))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_oracle_monotone_in_query(self, seed):
+        """Exact counts are monotone under query containment."""
+        data = random_dataset(seed)
+        oracle = ExactCountOracle(data)
+        gen = np.random.default_rng(seed + 2)
+        cx, cy = gen.uniform(200, 800, 2)
+        sizes = np.sort(gen.uniform(10, 800, 4))
+        coords = np.array([
+            [cx - s / 2, cy - s / 2, cx + s / 2, cy + s / 2]
+            for s in sizes
+        ])
+        counts = oracle.counts(RectSet(coords))
+        assert (np.diff(counts) >= 0).all()
+
+    @given(st.integers(0, 10_000),
+           st.sampled_from(BUCKET_TECHNIQUES))
+    @settings(max_examples=15, deadline=None)
+    def test_serialization_preserves_estimates(self, seed, technique):
+        """pack/unpack roundtrip changes estimates only by float32
+        quantisation noise."""
+        data = random_dataset(seed)
+        est = build_estimator(technique, data, 10, n_regions=64,
+                              rtree_method="str")
+        restored = BucketEstimator(
+            unpack_buckets(pack_buckets(est.buckets))
+        )
+        queries = range_queries(data, 0.3, 10, seed=seed + 3)
+        np.testing.assert_allclose(
+            restored.estimate_many(queries),
+            est.estimate_many(queries),
+            rtol=1e-3, atol=1e-3,
+        )
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_estimator_consistent_across_chunk_sizes(self, seed):
+        """estimate_many is pure: chunking must not change results."""
+        from repro.core.bucket import estimate_many
+
+        data = random_dataset(seed)
+        est = build_estimator("Min-Skew", data, 8, n_regions=64)
+        queries = range_queries(data, 0.15, 23, seed=seed + 4)
+        a = estimate_many(est.buckets, queries, chunk_size=1)
+        b = estimate_many(est.buckets, queries, chunk_size=1_000)
+        np.testing.assert_allclose(a, b, rtol=1e-12)

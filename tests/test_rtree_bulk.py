@@ -1,0 +1,74 @@
+"""Tests for STR bulk loading."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect, RectSet
+from repro.rtree import RStarTree, str_bulk_load
+
+from .test_rtree_rstar import random_rectset
+
+
+class TestStrBulkLoad:
+    def test_empty(self):
+        tree = str_bulk_load(RectSet.empty(), 8)
+        assert len(tree) == 0
+        assert tree.count(Rect(0, 0, 1, 1)) == 0
+
+    def test_single(self):
+        rs = RectSet.from_centers([5.0], [5.0], [2.0], [2.0])
+        tree = str_bulk_load(rs, 8)
+        assert len(tree) == 1
+        assert tree.search(Rect(4, 4, 6, 6)) == [0]
+
+    def test_structure_valid(self):
+        rs = random_rectset(1_000, seed=10)
+        tree = str_bulk_load(rs, 16)
+        tree.check_invariants(allow_underfull=True)
+
+    def test_counts_match_bruteforce(self):
+        rs = random_rectset(1_200, seed=11)
+        tree = str_bulk_load(rs, 12)
+        gen = np.random.default_rng(12)
+        for _ in range(25):
+            x, y = gen.uniform(0, 900, 2)
+            q = Rect(x, y, x + gen.uniform(5, 400),
+                     y + gen.uniform(5, 400))
+            assert tree.count(q) == int(rs.intersects_mask(q).sum())
+
+    def test_all_records_present(self):
+        rs = random_rectset(500, seed=13)
+        tree = str_bulk_load(rs, 8)
+        assert sorted(tree.search(rs.mbr())) == list(range(500))
+
+    def test_same_answers_as_dynamic_tree(self):
+        rs = random_rectset(600, seed=14)
+        bulk = str_bulk_load(rs, 8)
+        dynamic = RStarTree.from_rectset(rs, max_entries=8)
+        gen = np.random.default_rng(15)
+        for _ in range(20):
+            x, y = gen.uniform(0, 900, 2)
+            q = Rect(x, y, x + gen.uniform(5, 300),
+                     y + gen.uniform(5, 300))
+            assert bulk.count(q) == dynamic.count(q)
+
+    def test_leaf_packing_density(self):
+        """STR should pack leaves nearly full (bulk-loading's point)."""
+        rs = random_rectset(1_000, seed=16)
+        tree = str_bulk_load(rs, 10)
+        leaves = tree.nodes_at_level(0)
+        assert len(leaves) <= int(np.ceil(1_000 / 10)) + 1
+
+    def test_dynamic_insert_into_bulk_tree(self):
+        rs = random_rectset(300, seed=17)
+        tree = str_bulk_load(rs, 8)
+        tree.insert(Rect(10, 10, 20, 20), 300)
+        assert len(tree) == 301
+        assert 300 in tree.search(Rect(0, 0, 30, 30))
+
+    @pytest.mark.parametrize("n", [1, 7, 8, 9, 63, 64, 65, 200])
+    def test_boundary_sizes(self, n):
+        rs = random_rectset(n, seed=18)
+        tree = str_bulk_load(rs, 8)
+        assert len(tree) == n
+        assert tree.count(rs.mbr()) == n

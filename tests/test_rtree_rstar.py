@@ -1,0 +1,171 @@
+"""Unit and property tests for the dynamic R*-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect, RectSet
+from repro.rtree import Entry, Node, RStarTree
+
+
+def random_rectset(n, seed, extent=1_000.0, max_side=40.0):
+    gen = np.random.default_rng(seed)
+    return RectSet.from_centers(
+        gen.uniform(0, extent, n),
+        gen.uniform(0, extent, n),
+        gen.uniform(0, max_side, n),
+        gen.uniform(0, max_side, n),
+    )
+
+
+class TestEntry:
+    def test_requires_exactly_one_payload(self):
+        r = Rect(0, 0, 1, 1)
+        with pytest.raises(ValueError):
+            Entry(r)
+        with pytest.raises(ValueError):
+            Entry(r, record_id=1, child=Node(0))
+
+    def test_leaf_entry(self):
+        e = Entry(Rect(0, 0, 1, 1), record_id=7)
+        assert e.is_leaf_entry
+
+
+class TestNode:
+    def test_empty_mbr_raises(self):
+        with pytest.raises(ValueError):
+            Node(0).mbr()
+
+    def test_mbr_covers_entries(self):
+        node = Node(0)
+        node.add(Entry(Rect(0, 0, 1, 1), record_id=0))
+        node.add(Entry(Rect(5, 5, 6, 7), record_id=1))
+        assert node.mbr().as_tuple() == (0, 0, 6, 7)
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RStarTree(3)
+        with pytest.raises(ValueError):
+            RStarTree(8, min_fill=0.9)
+        with pytest.raises(ValueError):
+            RStarTree(8, reinsert_fraction=1.5)
+
+    def test_empty_tree(self):
+        tree = RStarTree(8)
+        assert len(tree) == 0
+        assert tree.search(Rect(0, 0, 1, 1)) == []
+        assert tree.count(Rect(0, 0, 1, 1)) == 0
+
+    def test_single_insert(self):
+        tree = RStarTree(8)
+        tree.insert(Rect(0, 0, 1, 1), 42)
+        assert len(tree) == 1
+        assert tree.search(Rect(0.5, 0.5, 2, 2)) == [42]
+
+    def test_invariants_small(self):
+        rs = random_rectset(200, seed=1)
+        tree = RStarTree.from_rectset(rs, max_entries=6)
+        tree.check_invariants()
+        assert len(tree) == 200
+
+    def test_invariants_medium(self):
+        rs = random_rectset(2_000, seed=2)
+        tree = RStarTree.from_rectset(rs, max_entries=16)
+        tree.check_invariants()
+
+    def test_height_grows(self):
+        rs = random_rectset(500, seed=3)
+        tree = RStarTree.from_rectset(rs, max_entries=4)
+        assert tree.height >= 3
+
+    def test_duplicate_rects(self):
+        tree = RStarTree(4)
+        for i in range(50):
+            tree.insert(Rect(1, 1, 2, 2), i)
+        tree.check_invariants()
+        assert tree.count(Rect(0, 0, 3, 3)) == 50
+
+    def test_point_data(self):
+        gen = np.random.default_rng(4)
+        tree = RStarTree(8)
+        for i in range(300):
+            x, y = gen.uniform(0, 100, 2)
+            tree.insert(Rect.point(x, y), i)
+        tree.check_invariants()
+        assert tree.count(Rect(0, 0, 100, 100)) == 300
+
+
+class TestQueries:
+    @pytest.fixture(scope="class")
+    def tree_and_data(self):
+        rs = random_rectset(1_500, seed=5)
+        return RStarTree.from_rectset(rs, max_entries=10), rs
+
+    def test_search_matches_bruteforce(self, tree_and_data):
+        tree, rs = tree_and_data
+        gen = np.random.default_rng(6)
+        for _ in range(30):
+            x, y = gen.uniform(0, 900, 2)
+            w, h = gen.uniform(10, 300, 2)
+            q = Rect(x, y, x + w, y + h)
+            expected = set(np.flatnonzero(rs.intersects_mask(q)))
+            assert set(tree.search(q)) == expected
+
+    def test_count_matches_search(self, tree_and_data):
+        tree, _ = tree_and_data
+        gen = np.random.default_rng(7)
+        for _ in range(30):
+            x, y = gen.uniform(0, 900, 2)
+            w, h = gen.uniform(10, 500, 2)
+            q = Rect(x, y, x + w, y + h)
+            assert tree.count(q) == len(tree.search(q))
+
+    def test_full_space_query(self, tree_and_data):
+        tree, rs = tree_and_data
+        assert tree.count(rs.mbr()) == len(rs)
+
+    def test_empty_region_query(self, tree_and_data):
+        tree, _ = tree_and_data
+        assert tree.count(Rect(-100, -100, -50, -50)) == 0
+
+    def test_point_query(self, tree_and_data):
+        tree, rs = tree_and_data
+        q = rs[0]
+        cx, cy = q.center
+        point = Rect.point(cx, cy)
+        assert 0 in tree.search(point)
+
+
+class TestTraversal:
+    def test_levels_partition_nodes(self):
+        rs = random_rectset(800, seed=8)
+        tree = RStarTree.from_rectset(rs, max_entries=8)
+        total = sum(
+            len(tree.nodes_at_level(lv)) for lv in range(tree.height)
+        )
+        assert total == tree.node_count()
+
+    def test_leaf_entries_cover_all_records(self):
+        rs = random_rectset(400, seed=9)
+        tree = RStarTree.from_rectset(rs, max_entries=8)
+        records = []
+        for leaf in tree.nodes_at_level(0):
+            records.extend(e.record_id for e in leaf.entries)
+        assert sorted(records) == list(range(400))
+
+
+class TestProperties:
+    @given(st.integers(0, 10_000), st.integers(10, 200),
+           st.sampled_from([4, 5, 8, 16]))
+    @settings(max_examples=15, deadline=None)
+    def test_random_trees_valid_and_correct(self, seed, n, fanout):
+        rs = random_rectset(n, seed=seed)
+        tree = RStarTree.from_rectset(rs, max_entries=fanout)
+        tree.check_invariants()
+        gen = np.random.default_rng(seed + 1)
+        x, y = gen.uniform(0, 800, 2)
+        q = Rect(x, y, x + gen.uniform(1, 400), y + gen.uniform(1, 400))
+        assert tree.count(q) == int(rs.intersects_mask(q).sum())

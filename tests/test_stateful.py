@@ -1,0 +1,129 @@
+"""Stateful property tests (hypothesis RuleBasedStateMachine).
+
+Two long-lived structures get exercised with random operation
+sequences, with a naive in-memory model as the oracle:
+
+* the R*-tree under interleaved inserts and searches;
+* the maintained histogram under inserts, deletes, and refreshes.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core import MaintainedHistogram, MinSkewPartitioner
+from repro.geometry import Rect, RectSet
+from repro.rtree import RStarTree
+
+COORD = st.integers(0, 200)
+SIDE = st.integers(0, 30)
+
+
+def make_rect(x, y, w, h):
+    return Rect(float(x), float(y), float(x + w), float(y + h))
+
+
+class RTreeMachine(RuleBasedStateMachine):
+    """R*-tree vs a plain list under inserts and range counts."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = RStarTree(max_entries=4)
+        self.model = []
+
+    @rule(x=COORD, y=COORD, w=SIDE, h=SIDE)
+    def insert(self, x, y, w, h):
+        rect = make_rect(x, y, w, h)
+        self.tree.insert(rect, len(self.model))
+        self.model.append(rect)
+
+    @rule(x=COORD, y=COORD, w=SIDE, h=SIDE)
+    def count_query(self, x, y, w, h):
+        query = make_rect(x, y, w, h)
+        expected = sum(1 for r in self.model if r.intersects(query))
+        assert self.tree.count(query) == expected
+
+    @rule(x=COORD, y=COORD, w=SIDE, h=SIDE)
+    def search_query(self, x, y, w, h):
+        query = make_rect(x, y, w, h)
+        expected = {
+            i for i, r in enumerate(self.model) if r.intersects(query)
+        }
+        assert set(self.tree.search(query)) == expected
+
+    @invariant()
+    def size_consistent(self):
+        assert len(self.tree) == len(self.model)
+
+    @invariant()
+    def structure_valid(self):
+        if self.model:
+            self.tree.check_invariants()
+
+
+class MaintainedHistogramMachine(RuleBasedStateMachine):
+    """Maintained histogram vs the live data under churn."""
+
+    @initialize()
+    def setup(self):
+        gen = np.random.default_rng(99)
+        base = RectSet.from_centers(
+            gen.uniform(20, 180, 60),
+            gen.uniform(20, 180, 60),
+            gen.uniform(1, 10, 60),
+            gen.uniform(1, 10, 60),
+        )
+        self.hist = MaintainedHistogram(
+            MinSkewPartitioner(6, n_regions=36), base,
+            drift_threshold=0.5,
+        )
+        self.inserted = []
+
+    @rule(x=COORD, y=COORD, w=SIDE, h=SIDE)
+    def insert(self, x, y, w, h):
+        rect = make_rect(x, y, w, h)
+        self.hist.insert(rect)
+        self.inserted.append(rect)
+
+    @rule()
+    def delete_one(self):
+        if self.inserted:
+            rect = self.inserted.pop()
+            assert self.hist.delete(rect)
+
+    @rule()
+    def refresh(self):
+        self.hist.refresh()
+        assert not self.hist.needs_refresh
+
+    @invariant()
+    def size_matches_live_data(self):
+        assert len(self.hist) == len(self.hist.current_data())
+
+    @invariant()
+    def estimates_non_negative(self):
+        assert self.hist.estimate(Rect(0, 0, 250, 250)) >= 0.0
+
+    @invariant()
+    def full_space_estimate_after_refresh_is_exact(self):
+        # bucket counts always sum to <= live size (uncovered inserts
+        # are not in any bucket until refresh)
+        total = sum(b.count for b in self.hist.buckets)
+        assert total <= len(self.hist)
+
+
+TestRTreeMachine = RTreeMachine.TestCase
+TestRTreeMachine.settings = settings(
+    max_examples=12, stateful_step_count=30, deadline=None
+)
+
+TestMaintainedHistogramMachine = MaintainedHistogramMachine.TestCase
+TestMaintainedHistogramMachine.settings = settings(
+    max_examples=10, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,141 @@
+"""Tests for ASCII visualisation and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import Bucket, MinSkewPartitioner
+from repro.geometry import Rect, RectSet
+from repro.grid import DensityGrid
+from repro.viz import render_dataset, render_density, render_partition
+
+
+class TestRenderDensity:
+    def test_dimensions(self):
+        grid = DensityGrid(np.ones((5, 3)), Rect(0, 0, 10, 10))
+        text = render_density(grid)
+        lines = text.splitlines()
+        assert len(lines) == 3  # ny rows
+        assert all(len(line) == 5 for line in lines)  # nx columns
+
+    def test_empty_grid_blank(self):
+        grid = DensityGrid(np.zeros((4, 4)), Rect(0, 0, 1, 1))
+        assert set(render_density(grid)) <= {" ", "\n"}
+
+    def test_peak_uses_densest_char(self):
+        d = np.zeros((4, 4))
+        d[2, 2] = 100.0
+        grid = DensityGrid(d, Rect(0, 0, 1, 1))
+        assert "@" in render_density(grid)
+
+    def test_orientation_y_up(self):
+        """High-y cells appear on the first printed line."""
+        d = np.zeros((2, 2))
+        d[0, 1] = 9.0  # ix=0, iy=1 (top-left in data space)
+        grid = DensityGrid(d, Rect(0, 0, 1, 1))
+        lines = render_density(grid).splitlines()
+        assert lines[0][0] != " "
+        assert lines[1][0] == " "
+
+    def test_empty_ramp_rejected(self):
+        grid = DensityGrid(np.ones((2, 2)), Rect(0, 0, 1, 1))
+        with pytest.raises(ValueError):
+            render_density(grid, ramp="")
+
+    def test_render_dataset(self, small_charminar):
+        text = render_dataset(small_charminar, width=40, height=20)
+        lines = text.splitlines()
+        assert len(lines) == 20
+        assert all(len(line) == 40 for line in lines)
+
+
+class TestRenderPartition:
+    def test_no_buckets(self):
+        with pytest.raises(ValueError):
+            render_partition([])
+
+    def test_borders_drawn(self):
+        buckets = [
+            Bucket(Rect(0, 0, 5, 10), 1),
+            Bucket(Rect(5, 0, 10, 10), 1),
+        ]
+        text = render_partition(buckets, Rect(0, 0, 10, 10),
+                                width=21, height=11)
+        assert "+" in text and "-" in text and "|" in text
+        # the shared split line at x=5 appears mid-canvas
+        lines = text.splitlines()
+        assert lines[5][10] == "|"
+
+    def test_real_partitioning_renders(self, small_charminar):
+        buckets = MinSkewPartitioner(
+            12, n_regions=100
+        ).partition(small_charminar)
+        text = render_partition(buckets, small_charminar.mbr())
+        assert len(text.splitlines()) == 32
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "charminar" in out and "nj_road" in out
+
+    def test_show(self, capsys):
+        assert main(["show", "--dataset", "uniform", "--n", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "500 rectangles" in out
+
+    def test_partition(self, capsys):
+        assert main([
+            "partition", "--dataset", "uniform", "--n", "800",
+            "--technique", "Min-Skew", "--buckets", "8",
+            "--regions", "100",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Min-Skew" in out
+        assert "spatial skew" in out
+
+    def test_partition_non_bucket_technique(self, capsys):
+        assert main([
+            "partition", "--dataset", "uniform", "--n", "500",
+            "--technique", "Fractal", "--buckets", "8",
+        ]) == 0
+        assert "no bucket layout" in capsys.readouterr().out
+
+    def test_evaluate_single_technique(self, capsys):
+        assert main([
+            "evaluate", "--dataset", "uniform", "--n", "1000",
+            "--technique", "Uniform", "--buckets", "10",
+            "--queries", "50", "--regions", "100",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ARE=" in out
+
+    def test_fig10_runs_small(self, capsys):
+        assert main([
+            "fig10", "--dataset", "uniform", "--n", "1000",
+            "--queries", "50", "--buckets", "10",
+        ]) == 0
+        assert "Figure 10" in capsys.readouterr().out
+
+    def test_tune_runs_small(self, capsys):
+        assert main([
+            "tune", "--dataset", "uniform", "--n", "1000",
+            "--buckets", "10", "--queries", "40",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "chosen" in out
+        assert "refinements" in out
+
+    def test_evaluate_all_techniques(self, capsys):
+        assert main([
+            "evaluate", "--dataset", "uniform", "--n", "800",
+            "--buckets", "8", "--queries", "30", "--regions", "64",
+        ]) == 0
+        out = capsys.readouterr().out
+        for technique in ("Min-Skew", "Grid", "Fractal"):
+            assert technique in out

@@ -1,0 +1,112 @@
+"""Tests for the SVG renderer."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.core import Bucket, MinSkewPartitioner
+from repro.geometry import Rect, RectSet
+from repro.grid import DensityGrid
+from repro.viz_svg import (
+    dataset_svg,
+    density_svg,
+    partition_svg,
+    _heat_color,
+)
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestHeatColor:
+    def test_endpoints(self):
+        assert _heat_color(0.0) == "#ffffff"
+        assert _heat_color(1.0) == "#a50026"
+
+    def test_clipped(self):
+        assert _heat_color(-5.0) == "#ffffff"
+        assert _heat_color(7.0) == "#a50026"
+
+
+class TestDatasetSvg:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            dataset_svg(RectSet.empty())
+
+    def test_valid_xml_with_rects(self, small_charminar):
+        root = parse(dataset_svg(small_charminar, title="Figure 1"))
+        rects = root.findall(f"{SVG_NS}rect")
+        assert len(rects) > 100
+        titles = [t for t in root.findall(f"{SVG_NS}text")]
+        assert any("Figure 1" in (t.text or "") for t in titles)
+
+    def test_subsampling_cap(self, small_charminar):
+        svg = dataset_svg(small_charminar, max_draw=50)
+        root = parse(svg)
+        # background + frame + <=50 data rects
+        assert len(root.findall(f"{SVG_NS}rect")) <= 53
+
+
+class TestDensitySvg:
+    def test_cells_coloured(self):
+        d = np.zeros((4, 4))
+        d[1, 2] = 10.0
+        grid = DensityGrid(d, Rect(0, 0, 100, 100))
+        root = parse(density_svg(grid))
+        fills = {
+            r.get("fill") for r in root.findall(f"{SVG_NS}rect")
+        }
+        assert "#a50026" in fills  # the hot cell
+
+    def test_empty_grid_renders(self):
+        grid = DensityGrid(np.zeros((3, 3)), Rect(0, 0, 10, 10))
+        root = parse(density_svg(grid))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_degenerate_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            DensityGrid(np.ones((2, 2)), Rect(0, 0, 0, 1))
+
+
+class TestPartitionSvg:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            partition_svg([])
+
+    def test_buckets_drawn(self, small_charminar):
+        buckets = MinSkewPartitioner(
+            12, n_regions=100
+        ).partition(small_charminar)
+        root = parse(partition_svg(buckets, small_charminar.mbr(),
+                                   title="Figure 7"))
+        rects = root.findall(f"{SVG_NS}rect")
+        # background + frame + 12 buckets
+        assert len(rects) == 14
+
+    def test_annotations(self):
+        buckets = [
+            Bucket(Rect(0, 0, 50, 100), 7),
+            Bucket(Rect(50, 0, 100, 100), 3),
+        ]
+        root = parse(partition_svg(buckets, Rect(0, 0, 100, 100),
+                                   annotate=True))
+        labels = [t.text for t in root.findall(f"{SVG_NS}text")]
+        assert "7" in labels and "3" in labels
+
+    def test_bounds_inferred(self):
+        buckets = [Bucket(Rect(10, 10, 20, 20), 1)]
+        root = parse(partition_svg(buckets))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_aspect_ratio_preserved(self):
+        buckets = [Bucket(Rect(0, 0, 200, 100), 1)]
+        root = parse(partition_svg(buckets, Rect(0, 0, 200, 100),
+                                   size=400))
+        width = int(root.get("width"))
+        height = int(root.get("height"))
+        # content 400x200 plus margins
+        assert width > height

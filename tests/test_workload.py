@@ -1,0 +1,163 @@
+"""Tests for the query workload generators (paper Section 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.workload import (
+    PAPER_N_QUERIES,
+    PAPER_QSIZES,
+    point_queries,
+    range_queries,
+)
+
+
+class TestRangeQueries:
+    def test_validation(self, small_nj_road):
+        from repro.geometry import RectSet
+
+        with pytest.raises(ValueError):
+            range_queries(RectSet.empty(), 0.1)
+        with pytest.raises(ValueError):
+            range_queries(small_nj_road, 0.0)
+        with pytest.raises(ValueError):
+            range_queries(small_nj_road, 1.5)
+        with pytest.raises(ValueError):
+            range_queries(small_nj_road, 0.1, 0)
+
+    def test_count_and_default(self, small_nj_road):
+        q = range_queries(small_nj_road, 0.05, 123, seed=1)
+        assert len(q) == 123
+        assert PAPER_N_QUERIES == 10_000
+        assert PAPER_QSIZES[0] == 0.02 and PAPER_QSIZES[-1] == 0.25
+
+    def test_queries_inside_mbr(self, small_nj_road):
+        q = range_queries(small_nj_road, 0.25, 500, seed=2)
+        mbr = small_nj_road.mbr()
+        for rect in q:
+            assert mbr.contains_rect(rect)
+
+    def test_average_extent_matches_qsize(self, small_uniform):
+        """On uniformly-placed data (little boundary clipping) the mean
+        query extent tracks QSize × MBR side."""
+        qsize = 0.10
+        q = range_queries(small_uniform, qsize, 4_000, seed=3)
+        mbr = small_uniform.mbr()
+        assert q.widths.mean() == pytest.approx(
+            qsize * mbr.width, rel=0.15
+        )
+        assert q.heights.mean() == pytest.approx(
+            qsize * mbr.height, rel=0.15
+        )
+
+    def test_extent_distribution_is_pm_50pct(self, small_uniform):
+        """Sides are U[0.5·mean, 1.5·mean]; boundary clipping can only
+        shrink them, never grow them."""
+        qsize = 0.05
+        q = range_queries(small_uniform, qsize, 4_000, seed=4)
+        mean_w = qsize * small_uniform.mbr().width
+        assert q.widths.max() <= 1.5 * mean_w + 1e-6
+        # most queries are unclipped on uniform data
+        assert np.median(q.widths) >= 0.5 * mean_w - 1e-6
+
+    def test_corner_queries_are_clipped(self, small_charminar):
+        """Queries centered near the MBR boundary lose extent to the
+        clipping, so the corner-heavy Charminar workload has a smaller
+        mean width than QSize × MBR width."""
+        qsize = 0.10
+        q = range_queries(small_charminar, qsize, 4_000, seed=3)
+        mbr = small_charminar.mbr()
+        assert q.widths.mean() < qsize * mbr.width
+
+    def test_centers_follow_data(self, small_charminar):
+        """Query centers are drawn from input centers, so most queries
+        land in the dense corners."""
+        q = range_queries(small_charminar, 0.02, 2_000, seed=5)
+        centers = q.centers()
+        space = small_charminar.mbr()
+        zone = 0.2 * space.width
+        in_corner = (
+            ((centers[:, 0] < zone) | (centers[:, 0] > space.x2 - zone))
+            & ((centers[:, 1] < zone) | (centers[:, 1] > space.y2 - zone))
+        )
+        assert in_corner.mean() > 0.4
+
+    def test_rarely_empty_results(self, small_nj_road):
+        """The biased workload makes empty answers rare (the error
+        metric needs Σr > 0)."""
+        from repro.counting import brute_force_counts
+
+        q = range_queries(small_nj_road, 0.05, 500, seed=6)
+        counts = brute_force_counts(small_nj_road, q)
+        assert (counts > 0).mean() > 0.95
+
+    def test_deterministic(self, small_nj_road):
+        a = range_queries(small_nj_road, 0.1, 100, seed=7)
+        b = range_queries(small_nj_road, 0.1, 100, seed=7)
+        assert a == b
+
+    def test_center_mode_validation(self, small_nj_road):
+        with pytest.raises(ValueError, match="center_mode"):
+            range_queries(small_nj_road, 0.1, 10, center_mode="magic")
+
+    def test_uniform_center_mode_unbiased(self, small_charminar):
+        """Uniform centers ignore the data distribution: far fewer
+        queries land in the corners than with the paper's data mode."""
+        data_centered = range_queries(
+            small_charminar, 0.02, 2_000, seed=11, center_mode="data"
+        )
+        uniform_centered = range_queries(
+            small_charminar, 0.02, 2_000, seed=11, center_mode="uniform"
+        )
+        space = small_charminar.mbr()
+        zone = 0.2 * space.width
+
+        def corner_rate(queries):
+            c = queries.centers()
+            mask = (
+                ((c[:, 0] < zone) | (c[:, 0] > space.x2 - zone))
+                & ((c[:, 1] < zone) | (c[:, 1] > space.y2 - zone))
+            )
+            return mask.mean()
+
+        assert corner_rate(uniform_centered) < \
+            0.5 * corner_rate(data_centered)
+
+    def test_uniform_center_mode_inside_mbr(self, small_nj_road):
+        q = range_queries(small_nj_road, 0.25, 300, seed=12,
+                          center_mode="uniform")
+        mbr = small_nj_road.mbr()
+        for rect in q:
+            assert mbr.contains_rect(rect)
+
+
+class TestPointQueries:
+    def test_validation(self, small_nj_road):
+        from repro.geometry import RectSet
+
+        with pytest.raises(ValueError):
+            point_queries(RectSet.empty())
+        with pytest.raises(ValueError):
+            point_queries(small_nj_road, 0)
+
+    def test_degenerate_rectangles(self, small_nj_road):
+        q = point_queries(small_nj_road, 200, seed=8)
+        assert np.allclose(q.widths, 0.0)
+        assert np.allclose(q.heights, 0.0)
+
+    def test_inside_mbr(self, small_nj_road):
+        q = point_queries(small_nj_road, 200, seed=9)
+        mbr = small_nj_road.mbr()
+        for rect in q:
+            assert mbr.contains_rect(rect)
+
+    def test_points_land_in_dense_areas(self, small_charminar):
+        q = point_queries(small_charminar, 1_000, seed=10)
+        centers = q.centers()
+        space = small_charminar.mbr()
+        zone = 0.2 * space.width
+        in_corner = (
+            ((centers[:, 0] < zone) | (centers[:, 0] > space.x2 - zone))
+            & ((centers[:, 1] < zone) | (centers[:, 1] > space.y2 - zone))
+        )
+        assert in_corner.mean() > 0.4
