@@ -1,0 +1,141 @@
+"""Smoke test for the ``repro-spatial bench`` regression harness.
+
+Runs a deliberately tiny benchmark configuration end to end, validates
+the emitted ``BENCH_<name>.json`` against the published schema, and
+checks the two promises the harness makes: every technique reports
+finite accuracy plus its hot-path metrics, and the observability layer
+costs (close to) nothing when disabled.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.eval import ALL_TECHNIQUES
+from repro.obs.bench import BenchConfig, write_bench
+from repro.obs.schema import (
+    BenchSchemaError,
+    SCHEMA_VERSION,
+    validate_bench,
+)
+
+SMOKE_CONFIG = BenchConfig(
+    name="smoke",
+    datasets=(("charminar", 1_500),),
+    n_buckets=16,
+    n_regions=256,
+    n_queries=120,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_run(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("bench")
+    doc, path = write_bench(SMOKE_CONFIG, out_dir)
+    return doc, path
+
+
+def test_artifact_written_and_schema_valid(smoke_run):
+    doc, path = smoke_run
+    assert path.name == "BENCH_smoke.json"
+    on_disk = json.loads(path.read_text())
+    validate_bench(on_disk)  # must not raise
+    assert on_disk["schema_version"] == SCHEMA_VERSION
+    assert on_disk["name"] == "smoke"
+    assert on_disk["total_seconds"] == pytest.approx(
+        doc["total_seconds"]
+    )
+
+
+def test_every_technique_reports_timings_and_accuracy(smoke_run):
+    doc, _ = smoke_run
+    (dataset,) = doc["datasets"]
+    assert dataset["dataset"] == "charminar"
+    assert dataset["n"] == 1_500
+    assert dataset["truth_seconds"] > 0
+
+    reported = [t["technique"] for t in dataset["techniques"]]
+    assert reported == list(ALL_TECHNIQUES)
+    for entry in dataset["techniques"]:
+        assert entry["build_seconds"] >= 0
+        assert entry["estimate_seconds"] >= 0
+        assert entry["size_words"] > 0
+        acc = entry["accuracy"]
+        assert acc["n_queries"] == 120
+        assert 0 <= acc["average_relative_error"] < 1e6
+        assert acc["rmse"] >= 0
+
+
+def test_hot_path_metrics_embedded_per_technique(smoke_run):
+    doc, _ = smoke_run
+    by_name = {
+        t["technique"]: t["metrics"]
+        for t in doc["datasets"][0]["techniques"]
+    }
+    minskew = by_name["Min-Skew"]["counters"]
+    assert minskew["minskew.splits"] == SMOKE_CONFIG.n_buckets - 1
+    assert minskew["minskew.cells_scanned"] > 0
+    assert minskew["estimator.batch_queries"] == 120
+    assert (
+        by_name["Min-Skew"]["timers"]["minskew.partition"]["count"] == 1
+    )
+    rtree = by_name["R-Tree"]["counters"]
+    assert rtree["rtree.nodes"] > 0
+    sample = by_name["Sample"]["counters"]
+    assert sample["estimator.sample_comparisons"] > 0
+
+
+def test_disabled_instrumentation_overhead_is_negligible(smoke_run):
+    doc, _ = smoke_run
+    overhead = doc["overhead"]
+    # A disabled counter call is one dict-attribute load plus a branch;
+    # the bound is ~100x the measured cost so CI noise cannot trip it.
+    assert overhead["disabled_counter_ns"] < 5_000
+    assert overhead["disabled_timer_ns"] < 25_000
+    # End-to-end: an instrumented Min-Skew build with collection off
+    # must stay in the same ballpark as with collection on (generous
+    # slack — this guards against order-of-magnitude regressions, e.g.
+    # accidental allocation on the disabled path).
+    assert overhead["minskew_disabled_s"] > 0
+    assert (
+        overhead["minskew_disabled_s"]
+        < 5 * overhead["minskew_enabled_s"] + 0.05
+    )
+
+
+def test_schema_rejects_truncated_documents(smoke_run):
+    doc, _ = smoke_run
+    broken = dict(doc)
+    del broken["overhead"]
+    with pytest.raises(BenchSchemaError):
+        validate_bench(broken)
+    broken = json.loads(json.dumps(doc))
+    del broken["datasets"][0]["techniques"][0]["accuracy"]
+    with pytest.raises(BenchSchemaError):
+        validate_bench(broken)
+
+
+def test_cli_bench_subcommand(tmp_path, capsys):
+    rc = cli_main(
+        [
+            "bench",
+            "--quick",
+            "--name", "cli_smoke",
+            "--out", str(tmp_path),
+            "--datasets", "charminar:1000",
+            "--buckets", "12",
+            "--regions", "256",
+            "--queries", "60",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    artifact = tmp_path / "BENCH_cli_smoke.json"
+    assert artifact.exists()
+    assert str(artifact) in out
+    doc = json.loads(artifact.read_text())
+    validate_bench(doc)
+    assert doc["config"]["n_buckets"] == 12
+    assert [t["technique"] for t in doc["datasets"][0]["techniques"]] \
+        == list(ALL_TECHNIQUES)

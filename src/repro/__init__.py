@@ -42,6 +42,7 @@ from .eval import (
 )
 from .geometry import Rect, RectSet
 from .grid import DensityGrid
+from .obs import OBS, MetricsRegistry
 from .partitioners import (
     EquiAreaPartitioner,
     EquiCountPartitioner,
@@ -80,6 +81,9 @@ __all__ = [
     "RStarTree",
     "str_bulk_load",
     "DensityGrid",
+    # observability
+    "OBS",
+    "MetricsRegistry",
     # workload + eval
     "range_queries",
     "point_queries",

@@ -174,6 +174,65 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .obs.bench import FULL_CONFIG, QUICK_CONFIG, write_bench
+
+    config = FULL_CONFIG if args.full else QUICK_CONFIG
+    changes = {}
+    if args.name:
+        changes["name"] = args.name
+    if args.buckets is not None:
+        changes["n_buckets"] = args.buckets
+    if args.regions is not None:
+        changes["n_regions"] = args.regions
+    if args.queries is not None:
+        changes["n_queries"] = args.queries
+    if args.datasets:
+        pairs = []
+        for spec in args.datasets.split(","):
+            name, _, size = spec.partition(":")
+            if name not in dataset_names():
+                raise SystemExit(
+                    f"unknown dataset {name!r}; known: {dataset_names()}"
+                )
+            try:
+                pairs.append((name, int(size) if size else None))
+            except ValueError:
+                raise SystemExit(
+                    f"invalid dataset size {size!r} in {spec!r}; "
+                    "expected name:size, e.g. charminar:6000"
+                ) from None
+        changes["datasets"] = tuple(
+            (name, size if size is not None else dict(config.datasets)
+             .get(name, 6_000))
+            for name, size in pairs
+        )
+    if changes:
+        config = config.replace(**changes)
+
+    doc, path = write_bench(config, out_dir=args.out)
+    overhead = doc["overhead"]
+    print(f"# bench {config.name}: {doc['total_seconds']:.1f}s total")
+    print(
+        f"# obs overhead/call disabled: "
+        f"counter {overhead['disabled_counter_ns']:.0f}ns, "
+        f"timer {overhead['disabled_timer_ns']:.0f}ns"
+    )
+    for ds in doc["datasets"]:
+        print(f"## {ds['dataset']} n={ds['n']} "
+              f"truth={ds['truth_seconds']:.2f}s")
+        for tech in ds["techniques"]:
+            acc = tech["accuracy"]
+            print(
+                f"{tech['technique']:11s} "
+                f"build={tech['build_seconds']:7.2f}s "
+                f"estimate={tech['estimate_seconds']:6.3f}s "
+                f"ARE={acc['average_relative_error']:7.3f}"
+            )
+    print(f"wrote {path}")
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     datasets = {
         f"{args.small // 1000}K": make_dataset(
@@ -257,6 +316,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--truth", default="exact",
                    choices=("exact", "sample"))
     p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the perf-regression workload, write BENCH_<name>.json",
+    )
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--quick", action="store_true",
+        help="reduced workload, <60s (the default)",
+    )
+    mode.add_argument(
+        "--full", action="store_true",
+        help="paper-scale workload (expect several minutes)",
+    )
+    p.add_argument("--name", default=None,
+                   help="artifact name (BENCH_<name>.json)")
+    p.add_argument("--out", default=".",
+                   help="output directory (default: current directory)")
+    p.add_argument("--buckets", type=int, default=None)
+    p.add_argument("--regions", type=int, default=None)
+    p.add_argument("--queries", type=int, default=None)
+    p.add_argument(
+        "--datasets", default=None,
+        help="comma-separated name:size pairs, e.g. charminar:2000",
+    )
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("table1", help="reproduce paper Table 1")
     p.add_argument("--dataset", default="nj_road",

@@ -39,6 +39,7 @@ import numpy as np
 from ..geometry import Rect, RectSet
 from ..grid import BlockStats, DensityGrid, best_split_of_marginal, \
     square_grid_shape
+from ..obs import OBS
 from ..partitioners.base import Partitioner
 from .bucket import Bucket
 
@@ -190,9 +191,13 @@ class MinSkewPartitioner(Partitioner):
             bucket = Bucket.from_members(bounds, rects)
             return MinSkewResult([bucket], [(0, 0, 0, 0)], grid)
 
-        grid = self._initial_grid(rects, bounds)
-        blocks, grid, trace = self._build_blocks(grid)
-        buckets = self._blocks_to_buckets(rects, grid, blocks)
+        with OBS.timer("minskew.partition"):
+            with OBS.timer("minskew.initial_grid"):
+                grid = self._initial_grid(rects, bounds)
+            with OBS.timer("minskew.greedy_split"):
+                blocks, grid, trace = self._build_blocks(grid)
+            with OBS.timer("minskew.materialise"):
+                buckets = self._blocks_to_buckets(rects, grid, blocks)
         return MinSkewResult(buckets, [
             (b.ix0, b.ix1, b.iy0, b.iy1) for b in blocks
         ], grid, trace)
@@ -217,9 +222,11 @@ class MinSkewPartitioner(Partitioner):
         blocks: List[_Block] = [
             _Block(0, grid.nx - 1, 0, grid.ny - 1)
         ]
+        OBS.add("minskew.stages", n_stages)
         for stage in range(n_stages):
             if stage > 0:
-                grid = grid.refined()
+                with OBS.timer("minskew.refine_grid"):
+                    grid = grid.refined()
                 blocks = [b.scaled(2) for b in blocks]
             if stage == n_stages - 1:
                 target = self.n_buckets  # absorb rounding in last stage
@@ -240,10 +247,19 @@ class MinSkewPartitioner(Partitioner):
         """Split ``blocks`` in place until there are ``target`` of them."""
         counter = itertools.count()
         heap: List[Tuple[float, int, int, _Block]] = []
+        # hot-loop accounting: plain local integers, reported to the
+        # metrics registry once per stage (see the batch adds below)
+        n_pushes = 0
+        n_pops = 0
+        n_splits = 0
+        cells_scanned = 0
 
         def push(block: _Block) -> None:
+            nonlocal n_pushes, cells_scanned
+            cells_scanned += block.n_cells
             block.best = self._evaluate_block(stats, block)
             if block.best is not None:
+                n_pushes += 1
                 reduction = block.best[0]
                 heapq.heappush(
                     heap,
@@ -255,8 +271,10 @@ class MinSkewPartitioner(Partitioner):
 
         while len(blocks) < target and heap:
             _, _, _, block = heapq.heappop(heap)
+            n_pops += 1
             if not block.alive or block.best is None:
                 continue
+            n_splits += 1
             reduction, axis, offset = block.best
             block.alive = False
             if axis == 0:
@@ -288,6 +306,12 @@ class MinSkewPartitioner(Partitioner):
             blocks.append(right)
             push(left)
             push(right)
+
+        if OBS.enabled:
+            OBS.add("minskew.splits", n_splits)
+            OBS.add("minskew.heap_pushes", n_pushes)
+            OBS.add("minskew.heap_pops", n_pops)
+            OBS.add("minskew.cells_scanned", cells_scanned)
 
     def _evaluate_block(
         self, stats: BlockStats, block: _Block

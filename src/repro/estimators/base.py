@@ -17,6 +17,7 @@ import abc
 import numpy as np
 
 from ..geometry import Rect, RectSet
+from ..obs import OBS
 
 
 class SelectivityEstimator(abc.ABC):
@@ -34,9 +35,13 @@ class SelectivityEstimator(abc.ABC):
     def estimate_many(self, queries: RectSet) -> np.ndarray:
         """Vectorised :meth:`estimate`; subclasses override when they
         can batch the computation."""
-        return np.array(
-            [self.estimate(q) for q in queries], dtype=np.float64
-        )
+        if OBS.enabled:
+            OBS.add("estimator.batch_queries", len(queries))
+            OBS.observe("estimator.batch_size", len(queries))
+        with OBS.timer(f"estimate.{self.name}"):
+            return np.array(
+                [self.estimate(q) for q in queries], dtype=np.float64
+            )
 
     @abc.abstractmethod
     def size_words(self) -> int:

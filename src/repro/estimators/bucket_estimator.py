@@ -14,6 +14,7 @@ import numpy as np
 
 from ..core.bucket import Bucket, estimate_many
 from ..geometry import Rect, RectSet
+from ..obs import OBS
 from ..partitioners.base import Partitioner
 from .base import SelectivityEstimator
 
@@ -41,14 +42,21 @@ class BucketEstimator(SelectivityEstimator):
         bounds: Optional[Rect] = None,
     ) -> "BucketEstimator":
         """Partition ``rects`` and wrap the result."""
-        buckets = partitioner.partition(rects, bounds=bounds)
+        with OBS.timer(f"partition.{partitioner.name}"):
+            buckets = partitioner.partition(rects, bounds=bounds)
         return cls(buckets, name=partitioner.name)
 
     def estimate(self, query: Rect) -> float:
         return float(sum(b.estimate(query) for b in self.buckets))
 
     def estimate_many(self, queries: RectSet) -> np.ndarray:
-        return estimate_many(self.buckets, queries)
+        if OBS.enabled:
+            OBS.add("estimator.batch_queries", len(queries))
+            OBS.add("estimator.buckets_inspected",
+                    len(self.buckets) * len(queries))
+            OBS.observe("estimator.batch_size", len(queries))
+        with OBS.timer(f"estimate.{self.name}"):
+            return estimate_many(self.buckets, queries)
 
     def size_words(self) -> int:
         return WORDS_PER_BUCKET * len(self.buckets)

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..counting import ExactCountOracle
 from ..geometry import Rect, RectSet
+from ..obs import OBS
 from .base import SelectivityEstimator
 from .sampling import WORDS_PER_SAMPLE
 
@@ -31,7 +32,11 @@ class ExactEstimator(SelectivityEstimator):
         return float(self._rects.count_intersecting(query))
 
     def estimate_many(self, queries: RectSet) -> np.ndarray:
-        return self._oracle.counts(queries).astype(np.float64)
+        if OBS.enabled:
+            OBS.add("estimator.batch_queries", len(queries))
+            OBS.observe("estimator.batch_size", len(queries))
+        with OBS.timer(f"estimate.{self.name}"):
+            return self._oracle.counts(queries).astype(np.float64)
 
     def size_words(self) -> int:
         return WORDS_PER_SAMPLE * len(self._rects)

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..geometry import Rect, RectSet
 from ..grid import DensityGrid
+from ..obs import OBS
 from .base import SelectivityEstimator
 
 #: Words of summary state: the input MBR (4), N (1), D₂ (1), and the
@@ -140,13 +141,18 @@ class FractalEstimator(SelectivityEstimator):
         return float(self.n_input * ratio ** self.d2)
 
     def estimate_many(self, queries: RectSet) -> np.ndarray:
-        w = np.minimum(queries.widths + self.avg_width, self.bounds.width)
-        h = np.minimum(queries.heights + self.avg_height,
-                       self.bounds.height)
-        side = np.sqrt(np.clip(w, 0.0, None) * np.clip(h, 0.0, None))
-        ratio = np.minimum(side / self._extent, 1.0)
-        est = self.n_input * ratio ** self.d2
-        return np.where(side > 0.0, est, 0.0)
+        if OBS.enabled:
+            OBS.add("estimator.batch_queries", len(queries))
+            OBS.observe("estimator.batch_size", len(queries))
+        with OBS.timer(f"estimate.{self.name}"):
+            w = np.minimum(queries.widths + self.avg_width,
+                           self.bounds.width)
+            h = np.minimum(queries.heights + self.avg_height,
+                           self.bounds.height)
+            side = np.sqrt(np.clip(w, 0.0, None) * np.clip(h, 0.0, None))
+            ratio = np.minimum(side / self._extent, 1.0)
+            est = self.n_input * ratio ** self.d2
+            return np.where(side > 0.0, est, 0.0)
 
     def size_words(self) -> int:
         return FRACTAL_WORDS

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..counting import brute_force_counts
 from ..geometry import Rect, RectSet
+from ..obs import OBS
 from .base import SelectivityEstimator
 
 #: Words of summary state per sampled rectangle (its bounding box).
@@ -87,7 +88,13 @@ class SampleEstimator(SelectivityEstimator):
         return self.sample.count_intersecting(query) * self._scale
 
     def estimate_many(self, queries: RectSet) -> np.ndarray:
-        return brute_force_counts(self.sample, queries) * self._scale
+        if OBS.enabled:
+            OBS.add("estimator.batch_queries", len(queries))
+            OBS.add("estimator.sample_comparisons",
+                    len(self.sample) * len(queries))
+            OBS.observe("estimator.batch_size", len(queries))
+        with OBS.timer(f"estimate.{self.name}"):
+            return brute_force_counts(self.sample, queries) * self._scale
 
     def size_words(self) -> int:
         return WORDS_PER_SAMPLE * len(self.sample)

@@ -24,6 +24,7 @@ from ..estimators import (
     UniformEstimator,
 )
 from ..geometry import RectSet
+from ..obs import OBS
 from ..partitioners import (
     EquiAreaPartitioner,
     EquiCountPartitioner,
@@ -120,7 +121,8 @@ def timed_build(
 ) -> BuildResult:
     """Build a technique and measure its preprocessing time."""
     start = time.perf_counter()
-    estimator = build_estimator(technique, rects, n_buckets, **kwargs)
+    with OBS.timer(f"build.{technique}"):
+        estimator = build_estimator(technique, rects, n_buckets, **kwargs)
     elapsed = time.perf_counter() - start
     return BuildResult(estimator, elapsed)
 
@@ -143,8 +145,11 @@ class ExperimentRunner:
         key = id(queries)
         cached = self._truth_cache.get(key)
         if cached is not None and cached[0] is queries:
+            OBS.add("oracle.cache_hits")
             return cached[1]
-        counts = self._oracle.counts(queries)
+        OBS.add("oracle.queries", len(queries))
+        with OBS.timer("oracle.exact_counts"):
+            counts = self._oracle.counts(queries)
         self._truth_cache[key] = (queries, counts)
         return counts
 

@@ -1,0 +1,32 @@
+"""Observability: metrics registry, bench schema, regression harness.
+
+``repro.obs`` gives the estimator service eyes: :mod:`repro.obs.metrics`
+is the near-zero-overhead counter/timer/histogram registry the hot
+paths report to, :mod:`repro.obs.schema` pins the ``BENCH_<name>.json``
+artifact format, and :mod:`repro.obs.bench` runs the fixed benchmark
+workload behind ``repro-spatial bench``.
+"""
+
+from .metrics import (
+    CounterStat,
+    HistogramStat,
+    MetricsRegistry,
+    OBS,
+    TimerStat,
+    get_registry,
+    snapshot_from_json,
+)
+from .schema import BENCH_SCHEMA, BenchSchemaError, validate_bench
+
+__all__ = [
+    "OBS",
+    "MetricsRegistry",
+    "CounterStat",
+    "TimerStat",
+    "HistogramStat",
+    "get_registry",
+    "snapshot_from_json",
+    "BENCH_SCHEMA",
+    "BenchSchemaError",
+    "validate_bench",
+]

@@ -1,0 +1,275 @@
+"""The ``repro-spatial bench`` regression workload.
+
+Runs a fixed benchmark — a Charminar-style synthetic set and a simulated
+NJ-Road set, every estimator in :data:`repro.eval.ALL_TECHNIQUES` — with
+metrics collection enabled, and emits one ``BENCH_<name>.json`` artifact
+(validated against :data:`repro.obs.schema.BENCH_SCHEMA`) containing:
+
+* per-technique build and batch-estimation wall-clock times,
+* the hot-path counters and stage timers the run produced
+  (Min-Skew splits/heap traffic, R*-tree node accesses, oracle and
+  estimator batch sizes, ...),
+* the accuracy summary of every technique on the shared workload,
+* a measurement of the metrics layer's own overhead, enabled and
+  disabled, so the "near-zero when off" claim is checked by CI rather
+  than asserted in prose.
+
+The quick configuration (``repro-spatial bench --quick``) finishes in
+well under a minute and is the baseline every perf PR compares against;
+``--full`` runs the same pipeline at paper scale.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+import numpy as np
+
+from ..core.minskew import MinSkewPartitioner
+from ..data import make_dataset
+from ..eval import ALL_TECHNIQUES, ExperimentRunner, build_estimator
+from ..eval.metrics import error_summary
+from ..workload import range_queries
+from .metrics import OBS, MetricsRegistry
+from .schema import SCHEMA_VERSION, validate_bench
+
+__all__ = [
+    "BenchConfig",
+    "QUICK_CONFIG",
+    "FULL_CONFIG",
+    "measure_overhead",
+    "run_bench",
+    "write_bench",
+]
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """One benchmark workload definition.
+
+    ``datasets`` pairs registry names with sizes; every technique in
+    ``techniques`` is built once per dataset and evaluated on a shared
+    query workload.
+    """
+
+    name: str
+    datasets: Tuple[Tuple[str, int], ...]
+    n_buckets: int = 50
+    n_regions: int = 2_500
+    n_queries: int = 300
+    qsize: float = 0.05
+    query_seed: int = 42
+    techniques: Tuple[str, ...] = tuple(ALL_TECHNIQUES)
+
+    def replace(self, **changes) -> "BenchConfig":
+        from dataclasses import replace
+
+        return replace(self, **changes)
+
+
+#: The CI baseline: small enough to finish in well under a minute.
+QUICK_CONFIG = BenchConfig(
+    name="quick",
+    datasets=(("charminar", 6_000), ("nj_road", 6_000)),
+    n_buckets=40,
+    n_regions=10_000,
+    n_queries=500,
+)
+
+#: Paper-scale sweep for manual runs (expect several minutes).
+FULL_CONFIG = BenchConfig(
+    name="full",
+    datasets=(("charminar", 40_000), ("nj_road", 40_000)),
+    n_buckets=100,
+    n_regions=10_000,
+    n_queries=1_000,
+)
+
+
+# ----------------------------------------------------------------------
+# instrumentation overhead
+# ----------------------------------------------------------------------
+def _per_call_ns(action, calls: int) -> float:
+    start = time.perf_counter()
+    action(calls)
+    return (time.perf_counter() - start) / calls * 1e9
+
+
+def measure_overhead(
+    *, calls: int = 200_000, hot_path_repeats: int = 3
+) -> Dict[str, float]:
+    """Cost of the metrics layer itself, per call and on a hot path.
+
+    Uses a private registry so the measurement never pollutes (or is
+    polluted by) the process-wide :data:`OBS` state.  The hot-path
+    numbers build the same small Min-Skew histogram with collection
+    disabled and enabled (best of ``hot_path_repeats``), which is the
+    end-to-end check that instrumented code costs nothing when off.
+    """
+    registry = MetricsRegistry(enabled=False)
+
+    def counter_loop(n: int) -> None:
+        add = registry.add
+        for _ in range(n):
+            add("bench.overhead")
+
+    def timer_loop(n: int) -> None:
+        timer = registry.timer
+        for _ in range(n):
+            with timer("bench.overhead"):
+                pass
+
+    disabled_counter = _per_call_ns(counter_loop, calls)
+    disabled_timer = _per_call_ns(timer_loop, calls // 10)
+    registry.enable()
+    enabled_counter = _per_call_ns(counter_loop, calls)
+    enabled_timer = _per_call_ns(timer_loop, calls // 10)
+
+    data = make_dataset("charminar", 2_000)
+    partitioner = MinSkewPartitioner(20, n_regions=400)
+
+    def hot_path_seconds(enabled: bool) -> float:
+        best = float("inf")
+        for _ in range(hot_path_repeats):
+            with OBS.scope(enabled):
+                start = time.perf_counter()
+                partitioner.partition(data)
+                best = min(best, time.perf_counter() - start)
+        return best
+
+    return {
+        "disabled_counter_ns": disabled_counter,
+        "disabled_timer_ns": disabled_timer,
+        "enabled_counter_ns": enabled_counter,
+        "enabled_timer_ns": enabled_timer,
+        "minskew_disabled_s": hot_path_seconds(False),
+        "minskew_enabled_s": hot_path_seconds(True),
+    }
+
+
+# ----------------------------------------------------------------------
+# the benchmark itself
+# ----------------------------------------------------------------------
+def _bench_technique(
+    technique: str,
+    runner: ExperimentRunner,
+    queries,
+    truth: np.ndarray,
+    config: BenchConfig,
+) -> Dict[str, Any]:
+    """Build + evaluate one technique with a fresh metrics window."""
+    OBS.reset()
+    start = time.perf_counter()
+    estimator = build_estimator(
+        technique,
+        runner.data,
+        config.n_buckets,
+        n_regions=config.n_regions,
+    )
+    build_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    estimates = estimator.estimate_many(queries)
+    estimate_seconds = time.perf_counter() - start
+
+    summary = error_summary(truth, estimates)
+    return {
+        "technique": technique,
+        "build_seconds": build_seconds,
+        "estimate_seconds": estimate_seconds,
+        "size_words": int(estimator.size_words()),
+        "accuracy": {
+            "average_relative_error": summary.average_relative_error,
+            "mean_per_query_error": summary.mean_per_query_error,
+            "median_per_query_error": summary.median_per_query_error,
+            "rmse": summary.rmse,
+            "n_queries": summary.n_queries,
+        },
+        "metrics": OBS.snapshot(),
+    }
+
+
+def _bench_dataset(
+    dataset: str, n: int, config: BenchConfig
+) -> Dict[str, Any]:
+    data = make_dataset(dataset, n)
+    queries = range_queries(
+        data, config.qsize, config.n_queries, seed=config.query_seed
+    )
+    runner = ExperimentRunner(data)
+
+    OBS.reset()
+    start = time.perf_counter()
+    truth = runner.true_counts(queries)
+    truth_seconds = time.perf_counter() - start
+
+    techniques = [
+        _bench_technique(technique, runner, queries, truth, config)
+        for technique in config.techniques
+    ]
+    return {
+        "dataset": dataset,
+        "n": int(len(data)),
+        "n_queries": int(len(queries)),
+        "qsize": config.qsize,
+        "truth_seconds": truth_seconds,
+        "techniques": techniques,
+    }
+
+
+def run_bench(config: BenchConfig = QUICK_CONFIG) -> Dict[str, Any]:
+    """Run the workload and return the (validated) artifact document."""
+    start = time.perf_counter()
+    overhead = measure_overhead()
+
+    datasets: List[Dict[str, Any]] = []
+    with OBS.scope():
+        try:
+            for dataset, n in config.datasets:
+                datasets.append(_bench_dataset(dataset, n, config))
+        finally:
+            OBS.reset()
+
+    doc: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "name": config.name,
+        "created_unix": time.time(),
+        "config": {
+            "datasets": [list(pair) for pair in config.datasets],
+            "n_buckets": config.n_buckets,
+            "n_regions": config.n_regions,
+            "n_queries": config.n_queries,
+            "qsize": config.qsize,
+            "query_seed": config.query_seed,
+            "techniques": list(config.techniques),
+        },
+        "environment": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "overhead": overhead,
+        "datasets": datasets,
+        "total_seconds": time.perf_counter() - start,
+    }
+    validate_bench(doc)
+    return doc
+
+
+def write_bench(
+    config: BenchConfig = QUICK_CONFIG,
+    out_dir: Union[str, Path] = ".",
+) -> Tuple[Dict[str, Any], Path]:
+    """Run the workload and write ``BENCH_<name>.json`` to ``out_dir``."""
+    doc = run_bench(config)
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"BENCH_{config.name}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc, path

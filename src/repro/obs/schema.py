@@ -1,0 +1,249 @@
+"""The ``BENCH_<name>.json`` artifact schema.
+
+Every ``repro-spatial bench`` run emits one machine-readable document:
+per-stage wall-clock timings, hot-path counters, and accuracy summaries
+for every technique on every benchmark dataset, plus a measurement of
+the instrumentation's own overhead.  Future PRs compare their run
+against the committed baseline, so the format is pinned here as a JSON
+Schema (draft-07) and validated on every write.
+
+:func:`validate_bench` uses the ``jsonschema`` package when it is
+importable and otherwise falls back to a structural check of the same
+constraints, so validation works in minimal environments too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["BENCH_SCHEMA", "BenchSchemaError", "validate_bench"]
+
+#: Bump when the artifact layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+_TIMER_SCHEMA = {
+    "type": "object",
+    "required": ["count", "total_s", "min_s", "max_s", "mean_s"],
+    "properties": {
+        "count": {"type": "integer", "minimum": 0},
+        "total_s": {"type": "number", "minimum": 0},
+        "min_s": {"type": "number", "minimum": 0},
+        "max_s": {"type": "number", "minimum": 0},
+        "mean_s": {"type": "number", "minimum": 0},
+    },
+}
+
+_METRICS_SCHEMA = {
+    "type": "object",
+    "required": ["counters", "timers", "histograms"],
+    "properties": {
+        "counters": {
+            "type": "object",
+            "additionalProperties": {"type": "number"},
+        },
+        "timers": {
+            "type": "object",
+            "additionalProperties": _TIMER_SCHEMA,
+        },
+        "histograms": {"type": "object"},
+    },
+}
+
+_ACCURACY_SCHEMA = {
+    "type": "object",
+    "required": [
+        "average_relative_error",
+        "mean_per_query_error",
+        "median_per_query_error",
+        "rmse",
+        "n_queries",
+    ],
+    "properties": {
+        "average_relative_error": {"type": "number", "minimum": 0},
+        "mean_per_query_error": {"type": "number", "minimum": 0},
+        "median_per_query_error": {"type": "number", "minimum": 0},
+        "rmse": {"type": "number", "minimum": 0},
+        "n_queries": {"type": "integer", "minimum": 1},
+    },
+}
+
+_TECHNIQUE_SCHEMA = {
+    "type": "object",
+    "required": [
+        "technique",
+        "build_seconds",
+        "estimate_seconds",
+        "size_words",
+        "accuracy",
+        "metrics",
+    ],
+    "properties": {
+        "technique": {"type": "string"},
+        "build_seconds": {"type": "number", "minimum": 0},
+        "estimate_seconds": {"type": "number", "minimum": 0},
+        "size_words": {"type": "integer", "minimum": 0},
+        "accuracy": _ACCURACY_SCHEMA,
+        "metrics": _METRICS_SCHEMA,
+    },
+}
+
+_DATASET_SCHEMA = {
+    "type": "object",
+    "required": [
+        "dataset",
+        "n",
+        "n_queries",
+        "qsize",
+        "truth_seconds",
+        "techniques",
+    ],
+    "properties": {
+        "dataset": {"type": "string"},
+        "n": {"type": "integer", "minimum": 1},
+        "n_queries": {"type": "integer", "minimum": 1},
+        "qsize": {"type": "number", "exclusiveMinimum": 0},
+        "truth_seconds": {"type": "number", "minimum": 0},
+        "techniques": {
+            "type": "array",
+            "minItems": 1,
+            "items": _TECHNIQUE_SCHEMA,
+        },
+    },
+}
+
+_OVERHEAD_SCHEMA = {
+    "type": "object",
+    "required": [
+        "disabled_counter_ns",
+        "disabled_timer_ns",
+        "enabled_counter_ns",
+        "enabled_timer_ns",
+        "minskew_disabled_s",
+        "minskew_enabled_s",
+    ],
+    "additionalProperties": {"type": "number", "minimum": 0},
+}
+
+BENCH_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro bench artifact",
+    "type": "object",
+    "required": [
+        "schema_version",
+        "name",
+        "created_unix",
+        "config",
+        "environment",
+        "overhead",
+        "datasets",
+        "total_seconds",
+    ],
+    "properties": {
+        "schema_version": {"const": SCHEMA_VERSION},
+        "name": {"type": "string", "minLength": 1},
+        "created_unix": {"type": "number", "minimum": 0},
+        "config": {
+            "type": "object",
+            "required": ["n_buckets", "n_regions", "n_queries", "qsize"],
+        },
+        "environment": {
+            "type": "object",
+            "required": ["python", "numpy", "platform"],
+        },
+        "overhead": _OVERHEAD_SCHEMA,
+        "datasets": {
+            "type": "array",
+            "minItems": 1,
+            "items": _DATASET_SCHEMA,
+        },
+        "total_seconds": {"type": "number", "minimum": 0},
+    },
+}
+
+
+class BenchSchemaError(ValueError):
+    """A bench artifact does not conform to :data:`BENCH_SCHEMA`."""
+
+
+def validate_bench(doc: Any) -> None:
+    """Raise :class:`BenchSchemaError` unless ``doc`` is a valid
+    bench artifact; returns None on success."""
+    try:
+        import jsonschema
+    except ImportError:
+        _validate_manually(doc)
+        return
+    try:
+        jsonschema.validate(doc, BENCH_SCHEMA)
+    except jsonschema.ValidationError as exc:
+        raise BenchSchemaError(
+            f"bench artifact failed schema validation: {exc.message}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# dependency-free fallback validator (same constraints, plainer errors)
+# ----------------------------------------------------------------------
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise BenchSchemaError(
+            f"bench artifact failed schema validation: {message}"
+        )
+
+
+def _check_object(doc: Any, schema: Dict[str, Any], path: str) -> None:
+    _require(isinstance(doc, dict), f"{path} must be an object")
+    for key in schema.get("required", ()):
+        _require(key in doc, f"{path}.{key} is missing")
+    for key, sub in schema.get("properties", {}).items():
+        if key in doc:
+            _check_value(doc[key], sub, f"{path}.{key}")
+
+
+def _check_value(value: Any, schema: Dict[str, Any], path: str) -> None:
+    if "const" in schema:
+        _require(value == schema["const"],
+                 f"{path} must equal {schema['const']!r}")
+        return
+    kind = schema.get("type")
+    if kind == "object":
+        _check_object(value, schema, path)
+        extra = schema.get("additionalProperties")
+        if isinstance(extra, dict):
+            for key, sub in value.items():
+                if key not in schema.get("properties", {}):
+                    _check_value(sub, extra, f"{path}.{key}")
+    elif kind == "array":
+        _require(isinstance(value, list), f"{path} must be an array")
+        _require(len(value) >= schema.get("minItems", 0),
+                 f"{path} has too few items")
+        items = schema.get("items")
+        if items:
+            for i, item in enumerate(value):
+                _check_value(item, items, f"{path}[{i}]")
+    elif kind == "integer":
+        _require(isinstance(value, int) and not isinstance(value, bool),
+                 f"{path} must be an integer")
+        _check_bounds(value, schema, path)
+    elif kind == "number":
+        _require(isinstance(value, (int, float))
+                 and not isinstance(value, bool),
+                 f"{path} must be a number")
+        _check_bounds(value, schema, path)
+    elif kind == "string":
+        _require(isinstance(value, str), f"{path} must be a string")
+        _require(len(value) >= schema.get("minLength", 0),
+                 f"{path} is too short")
+
+
+def _check_bounds(value: Any, schema: Dict[str, Any], path: str) -> None:
+    if "minimum" in schema:
+        _require(value >= schema["minimum"],
+                 f"{path} must be >= {schema['minimum']}")
+    if "exclusiveMinimum" in schema:
+        _require(value > schema["exclusiveMinimum"],
+                 f"{path} must be > {schema['exclusiveMinimum']}")
+
+
+def _validate_manually(doc: Any) -> None:
+    _check_value(doc, BENCH_SCHEMA, "$")

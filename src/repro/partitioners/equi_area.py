@@ -26,6 +26,7 @@ import numpy as np
 
 from ..core.bucket import Bucket
 from ..geometry import Rect, RectSet
+from ..obs import OBS
 from .base import Partitioner
 
 
@@ -85,6 +86,7 @@ class EquiAreaPartitioner(Partitioner):
         root_mbr = bounds if bounds is not None else rects.mbr()
         buckets: List[_WorkBucket] = [_WorkBucket(all_indices, root_mbr)]
 
+        n_splits = 0
         while len(buckets) < self.n_buckets:
             candidate = self._pick_bucket(buckets)
             if candidate is None:
@@ -93,8 +95,10 @@ class EquiAreaPartitioner(Partitioner):
             if halves is None:
                 candidate.splittable = False
                 continue
+            n_splits += 1
             buckets.remove(candidate)
             buckets.extend(halves)
+        OBS.add("equi_area.splits", n_splits)
 
         return [
             Bucket.from_members(b.mbr, rects.select(b.indices))

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..core.bucket import Bucket
 from ..geometry import Rect, RectSet
+from ..obs import OBS
 from .base import Partitioner
 from .equi_area import _median_split_value, _member_mbr
 
@@ -68,6 +69,7 @@ class EquiCountPartitioner(Partitioner):
             _WorkBucket(all_indices, root_mbr, centers)
         ]
 
+        n_splits = 0
         while len(buckets) < self.n_buckets:
             picked = self._pick(buckets)
             if picked is None:
@@ -78,8 +80,10 @@ class EquiCountPartitioner(Partitioner):
                 # degenerate on the chosen axis; the pick loop will not
                 # offer it again because its distinct count is 1
                 break
+            n_splits += 1
             buckets.remove(bucket)
             buckets.extend(halves)
+        OBS.add("equi_count.splits", n_splits)
         return [
             Bucket.from_members(b.mbr, rects.select(b.indices))
             for b in buckets

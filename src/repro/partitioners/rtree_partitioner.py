@@ -26,6 +26,7 @@ import numpy as np
 
 from ..core.bucket import Bucket
 from ..geometry import Rect, RectSet
+from ..obs import OBS
 from ..rtree import Node, RStarTree, str_bulk_load
 from .base import Partitioner
 
@@ -59,12 +60,19 @@ class RTreePartitioner(Partitioner):
         if len(rects) == 0:
             raise ValueError("cannot partition an empty distribution")
         fanout = self.max_entries or self._tune_fanout(len(rects))
-        if self.method == "str":
-            tree = str_bulk_load(rects, fanout)
-        else:
-            tree = RStarTree.from_rectset(rects, fanout)
-        nodes = self._pick_level(tree)
-        return [self._summarise(rects, node) for node in nodes]
+        with OBS.timer("rtree.build"):
+            if self.method == "str":
+                tree = str_bulk_load(rects, fanout)
+            else:
+                tree = RStarTree.from_rectset(rects, fanout)
+        if OBS.enabled:
+            OBS.add("rtree.node_reads", tree.node_reads)
+            OBS.add("rtree.node_writes", tree.node_writes)
+            OBS.add("rtree.nodes", tree.node_count())
+            OBS.observe("rtree.height", tree.height)
+        with OBS.timer("rtree.summarise"):
+            nodes = self._pick_level(tree)
+            return [self._summarise(rects, node) for node in nodes]
 
     # ------------------------------------------------------------------
     def _tune_fanout(self, n: int) -> int:

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, List, Optional, Tuple
 
 from ..geometry import Rect, RectSet
+from ..obs import OBS
 from .node import Entry, Node
 
 
@@ -325,6 +326,8 @@ class RStarTree:
         node.entries.sort(key=dist2)
         spill = node.entries[-self.reinsert_count:]
         del node.entries[-self.reinsert_count:]
+        OBS.add("rtree.reinserts")
+        OBS.add("rtree.reinserted_entries", len(spill))
         self._adjust_path_mbrs(node)
         for e in spill:
             self._insert_entry(e, node.level)
@@ -332,6 +335,7 @@ class RStarTree:
     def _split(self, node: Node) -> None:
         # one node rewritten, one created, plus the parent update
         self.node_writes += 3
+        OBS.add("rtree.splits")
         group_a, group_b = self._rstar_split_groups(node.entries)
         if node is self.root:
             new_root = Node(level=node.level + 1)

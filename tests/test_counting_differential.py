@@ -1,0 +1,140 @@
+"""Differential test of the exact-counting oracles.
+
+Three independent ways of counting rectangle intersections must agree
+on every workload:
+
+* ``brute_force_counts`` — the chunked vectorised scan (closed
+  intersection by direct comparison);
+* ``ExactCountOracle`` — inclusion–exclusion over miss classes, with
+  the four 2-D terms answered by the Fenwick-tree dominance sweep;
+* ``RStarTree.count`` — index traversal with contained-subtree
+  shortcuts.
+
+The randomized workloads deliberately include the places the
+implementations could diverge: coordinates drawn from a tiny integer
+lattice (massive ties, so every strict-vs-closed boundary decision is
+exercised), degenerate data (points, horizontal/vertical segments,
+duplicates), and degenerate queries (zero-area lines and points placed
+exactly on data corners).
+"""
+
+import numpy as np
+import pytest
+
+from repro.counting import ExactCountOracle, brute_force_counts
+from repro.geometry import RectSet
+from repro.rtree import RStarTree
+
+
+def _lattice_rects(rng, n, size):
+    """Random rectangles on an integer lattice (ties everywhere);
+    roughly a third collapse to segments or points."""
+    x = np.sort(rng.integers(0, size, (n, 2)), axis=1)
+    y = np.sort(rng.integers(0, size, (n, 2)), axis=1)
+    collapse_x = rng.random(n) < 0.2
+    collapse_y = rng.random(n) < 0.2
+    x[collapse_x, 1] = x[collapse_x, 0]
+    y[collapse_y, 1] = y[collapse_y, 0]
+    coords = np.column_stack((x[:, 0], y[:, 0], x[:, 1], y[:, 1]))
+    return RectSet(coords.astype(np.float64))
+
+
+def _float_rects(rng, n, span):
+    x = np.sort(rng.uniform(0, span, (n, 2)), axis=1)
+    y = np.sort(rng.uniform(0, span, (n, 2)), axis=1)
+    coords = np.column_stack((x[:, 0], y[:, 0], x[:, 1], y[:, 1]))
+    return RectSet(coords)
+
+
+def _degenerate_queries(data, rng, n):
+    """Zero-area queries: points and axis-aligned lines, half of them
+    pinned exactly onto data corner coordinates to force ties."""
+    c = data.coords
+    pick = rng.integers(0, len(data), n)
+    x = np.where(rng.random(n) < 0.5, c[pick, 0], c[pick, 2])
+    y = np.where(rng.random(n) < 0.5, c[pick, 1], c[pick, 3])
+    jitter = rng.random(n) < 0.5
+    x = np.where(jitter, x + rng.uniform(-1, 1, n), x)
+    y = np.where(jitter, y + rng.uniform(-1, 1, n), y)
+    kind = rng.integers(0, 3, n)  # 0 = point, 1 = h-line, 2 = v-line
+    w = np.where(kind == 1, rng.uniform(0, 3, n), 0.0)
+    h = np.where(kind == 2, rng.uniform(0, 3, n), 0.0)
+    return RectSet(np.column_stack((x, y, x + w, y + h)))
+
+
+def _rtree_counts(data, queries):
+    tree = RStarTree.from_rectset(data, max_entries=8)
+    return np.array(
+        [tree.count(q) for q in queries], dtype=np.int64
+    )
+
+
+def _assert_all_agree(data, queries):
+    brute = brute_force_counts(data, queries)
+    fenwick = ExactCountOracle(data).counts(queries)
+    rtree = _rtree_counts(data, queries)
+    np.testing.assert_array_equal(
+        brute, fenwick,
+        err_msg="brute force vs Fenwick inclusion–exclusion",
+    )
+    np.testing.assert_array_equal(
+        brute, rtree, err_msg="brute force vs R*-tree count"
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("lattice", [6, 40])
+def test_oracles_agree_on_integer_lattice(seed, lattice):
+    rng = np.random.default_rng(seed)
+    data = _lattice_rects(rng, 300, lattice)
+    area_queries = _lattice_rects(rng, 150, lattice)
+    point_queries = _degenerate_queries(data, rng, 150)
+    _assert_all_agree(data, area_queries.concat(point_queries))
+
+
+@pytest.mark.parametrize("seed", [3, 4])
+def test_oracles_agree_on_float_workloads(seed):
+    rng = np.random.default_rng(seed)
+    data = _float_rects(rng, 400, 1_000.0)
+    queries = _float_rects(rng, 200, 1_000.0).concat(
+        _degenerate_queries(data, rng, 100)
+    )
+    _assert_all_agree(data, queries)
+
+
+def test_oracles_agree_on_all_point_data():
+    """Every data rectangle is a point: the harshest degenerate input."""
+    rng = np.random.default_rng(9)
+    xy = rng.integers(0, 10, (200, 2)).astype(np.float64)
+    data = RectSet(np.column_stack((xy[:, 0], xy[:, 1],
+                                    xy[:, 0], xy[:, 1])))
+    queries = _lattice_rects(rng, 100, 12).concat(
+        _degenerate_queries(data, rng, 100)
+    )
+    _assert_all_agree(data, queries)
+
+
+def test_oracles_agree_with_duplicate_rectangles():
+    rng = np.random.default_rng(10)
+    base = _lattice_rects(rng, 50, 8)
+    data = base.concat(base).concat(base)  # every rect three times
+    queries = _lattice_rects(rng, 120, 8)
+    _assert_all_agree(data, queries)
+
+
+def test_oracles_on_empty_inputs():
+    rng = np.random.default_rng(11)
+    data = _lattice_rects(rng, 50, 8)
+    no_queries = RectSet.empty()
+    assert brute_force_counts(data, no_queries).shape == (0,)
+    assert ExactCountOracle(data).counts(no_queries).shape == (0,)
+
+    no_data = RectSet.empty()
+    queries = _lattice_rects(rng, 20, 8)
+    np.testing.assert_array_equal(
+        brute_force_counts(no_data, queries), np.zeros(20, np.int64)
+    )
+    np.testing.assert_array_equal(
+        ExactCountOracle(no_data).counts(queries),
+        np.zeros(20, np.int64),
+    )

@@ -1,0 +1,89 @@
+"""Property test: ``estimate_many`` must agree with per-query
+``estimate`` for every technique.
+
+The batched paths are separate vectorised implementations of the same
+formulas (numpy blocks in :func:`repro.core.bucket.estimate_many`, the
+chunked brute-force scan in Sample, the inclusion–exclusion oracle in
+Exact), so elementwise agreement with the scalar path is the invariant
+that keeps the experiment harness honest.  Hypothesis drives arbitrary
+query rectangles — inside, outside, and straddling the data MBR, plus
+degenerate zero-area and point queries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import charminar
+from repro.estimators import ExactEstimator
+from repro.eval import ALL_TECHNIQUES, build_estimator
+from repro.geometry import RectSet
+
+#: One shared small dataset: big enough for every technique to build a
+#: non-trivial summary, small enough that the R*-tree build stays fast.
+_DATA = charminar(800, seed=7)
+_MBR = _DATA.mbr()
+
+_ESTIMATORS = {
+    technique: build_estimator(
+        technique, _DATA, 25, n_regions=256, seed=3
+    )
+    for technique in ALL_TECHNIQUES
+}
+_ESTIMATORS["Exact"] = ExactEstimator(_DATA)
+
+# coordinates reach one MBR-width beyond the data on every side, so
+# queries can lie fully outside the summarised region
+_SPAN_X = _MBR.width
+_SPAN_Y = _MBR.height
+_coord_x = st.floats(
+    _MBR.x1 - _SPAN_X, _MBR.x2 + _SPAN_X,
+    allow_nan=False, allow_infinity=False,
+)
+_coord_y = st.floats(
+    _MBR.y1 - _SPAN_Y, _MBR.y2 + _SPAN_Y,
+    allow_nan=False, allow_infinity=False,
+)
+
+
+@st.composite
+def query_rects(draw):
+    """One query rectangle; degenerate extents occur naturally when the
+    two draws coincide and are also forced with explicit examples."""
+    xa, xb = draw(_coord_x), draw(_coord_x)
+    ya, yb = draw(_coord_y), draw(_coord_y)
+    if draw(st.booleans()):
+        xb = xa  # force a zero-width (segment/point) query
+    if draw(st.booleans()):
+        yb = ya
+    return (min(xa, xb), min(ya, yb), max(xa, xb), max(ya, yb))
+
+
+@pytest.mark.parametrize("technique", sorted(_ESTIMATORS))
+@settings(max_examples=25, deadline=None)
+@given(rows=st.lists(query_rects(), min_size=1, max_size=20))
+def test_estimate_many_matches_scalar_estimate(technique, rows):
+    estimator = _ESTIMATORS[technique]
+    queries = RectSet(np.asarray(rows, dtype=np.float64))
+
+    batched = estimator.estimate_many(queries)
+    scalar = np.array(
+        [estimator.estimate(q) for q in queries], dtype=np.float64
+    )
+
+    assert batched.shape == scalar.shape
+    np.testing.assert_allclose(
+        batched, scalar, rtol=1e-9, atol=1e-6,
+        err_msg=f"{technique}: batched and scalar estimates diverge",
+    )
+    assert (batched >= 0).all()
+    assert np.isfinite(batched).all()
+
+
+@pytest.mark.parametrize("technique", sorted(_ESTIMATORS))
+def test_estimate_many_on_empty_workload(technique):
+    estimator = _ESTIMATORS[technique]
+    empty = RectSet.empty()
+    result = estimator.estimate_many(empty)
+    assert result.shape == (0,)

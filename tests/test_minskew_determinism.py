@@ -1,0 +1,79 @@
+"""Regression test: Min-Skew partitioning is byte-for-byte deterministic.
+
+The greedy split search breaks ties by position, the grid is a fixed
+function of the data, and nothing in the pipeline consults a random
+source — so repeated runs on the same input must produce *identical*
+buckets, down to the last float bit.  The test also pins down two easy
+ways to lose that property accidentally: turning on split tracing, and
+turning on the observability layer (neither may perturb the result).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.minskew import MinSkewPartitioner
+from repro.data import charminar
+from repro.obs import OBS
+
+
+def _bucket_bytes(buckets):
+    """Serialise a bucket list to a canonical byte string."""
+    rows = np.array(
+        [
+            (
+                b.bbox.x1, b.bbox.y1, b.bbox.x2, b.bbox.y2,
+                float(b.count), b.avg_width, b.avg_height,
+                b.avg_density,
+            )
+            for b in buckets
+        ],
+        dtype=np.float64,
+    )
+    return rows.tobytes()
+
+
+@pytest.fixture(scope="module")
+def data():
+    return charminar(3_000, seed=13)
+
+
+@pytest.mark.parametrize("refinements", [0, 1])
+def test_repeated_runs_are_byte_identical(data, refinements):
+    make = lambda: MinSkewPartitioner(
+        24, n_regions=1_024, refinements=refinements
+    ).partition(data)
+    baseline = _bucket_bytes(make())
+    for _ in range(2):
+        assert _bucket_bytes(make()) == baseline
+
+
+def test_fresh_partitioner_matches_reused_partitioner(data):
+    part = MinSkewPartitioner(24, n_regions=1_024)
+    first = _bucket_bytes(part.partition(data))
+    second = _bucket_bytes(part.partition(data))  # reuse: no state leak
+    fresh = _bucket_bytes(
+        MinSkewPartitioner(24, n_regions=1_024).partition(data)
+    )
+    assert first == second == fresh
+
+
+def test_tracing_does_not_change_the_buckets(data):
+    plain = MinSkewPartitioner(24, n_regions=1_024)
+    traced = MinSkewPartitioner(24, n_regions=1_024, trace=True)
+    result = traced.partition_full(data)
+    assert _bucket_bytes(plain.partition(data)) == _bucket_bytes(
+        result.buckets
+    )
+    assert len(result.trace) == 23  # one record per greedy split
+
+
+def test_metrics_collection_does_not_change_the_buckets(data):
+    part = MinSkewPartitioner(24, n_regions=1_024, refinements=1)
+    assert not OBS.enabled
+    disabled = _bucket_bytes(part.partition(data))
+    try:
+        with OBS.scope():
+            enabled = _bucket_bytes(part.partition(data))
+    finally:
+        OBS.reset()
+    assert disabled == enabled
