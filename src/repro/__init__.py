@@ -20,6 +20,7 @@ Quick start::
     print(est.estimate_many(queries)[:5])    # estimated result sizes
 """
 
+from .analysis import lint_paths
 from .core import (
     Bucket,
     MinSkewPartitioner,
@@ -84,6 +85,8 @@ __all__ = [
     # observability
     "OBS",
     "MetricsRegistry",
+    # static analysis
+    "lint_paths",
     # workload + eval
     "range_queries",
     "point_queries",

@@ -1,0 +1,66 @@
+"""Static analysis: the repository's AST-based invariant linter.
+
+The paper's figures are only trustworthy if every run is
+byte-deterministic and every geometry array keeps the float64 ``(N, 4)``
+contract.  PR 1's determinism and differential tests check those
+invariants *dynamically*; this package enforces them *statically*, so a
+stray ``np.random.seed`` or silent dtype downcast fails fast in review
+rather than rotting the figures.
+
+Layout:
+
+* :mod:`repro.analysis.engine` — visitor core: file walking, parsing,
+  import-alias resolution, ``# repro: noqa[RULE]`` suppressions;
+* :mod:`repro.analysis.rules` — the rule registry and the repository
+  rules (DET001, NPY001, MUT001, OBS001, API001);
+* :mod:`repro.analysis.config` — per-rule knobs and package scopes;
+* :mod:`repro.analysis.reporters` — text and schema-pinned JSON output.
+
+Run it via ``repro-spatial lint src/`` or programmatically::
+
+    from repro.analysis import DEFAULT_CONFIG, lint_paths, render_text
+
+    result = lint_paths(["src"], DEFAULT_CONFIG)
+    print(render_text(result))
+    assert result.ok
+"""
+
+from .config import DEFAULT_CONFIG, LintConfig
+from .diagnostics import PARSE_RULE, Violation
+from .engine import (
+    LintResult,
+    ModuleContext,
+    iter_source_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from .reporters import (
+    LINT_JSON_SCHEMA,
+    lint_json_dict,
+    render_json,
+    render_text,
+    validate_lint_json,
+)
+from .rules import RULES, Rule, register
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "LintConfig",
+    "PARSE_RULE",
+    "Violation",
+    "LintResult",
+    "ModuleContext",
+    "iter_source_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "LINT_JSON_SCHEMA",
+    "lint_json_dict",
+    "render_json",
+    "render_text",
+    "validate_lint_json",
+    "RULES",
+    "Rule",
+    "register",
+]

@@ -1,0 +1,109 @@
+"""Linter configuration: rule selection and per-rule knobs.
+
+:data:`DEFAULT_CONFIG` encodes this repository's invariants — which
+packages must not mutate their arguments, which metric namespaces are
+registered, where wall-clock reads are legitimate.  Tests and the CLI
+build variations with :meth:`LintConfig.replace`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Optional, Tuple
+
+__all__ = ["LintConfig", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Immutable linter settings.
+
+    Attributes
+    ----------
+    select:
+        Rule codes to run, or ``None`` for every registered rule.
+    det001_allow_modules:
+        Module prefixes (``repro.obs``) where DET001 is not enforced —
+        the observability layer legitimately reads wall clocks.
+    det001_banned_calls:
+        Fully-qualified callables that break run determinism.
+    mut001_packages:
+        Module prefixes whose *public* functions must not mutate their
+        array/sequence parameters in place.
+    mut001_mutating_methods:
+        Method names on a parameter treated as in-place mutation.
+    api001_packages:
+        Module prefixes whose public functions require complete type
+        annotations (every parameter and the return type).
+    obs_namespaces:
+        First dotted segment a metric key must start with; the
+        registered-metric naming scheme of :mod:`repro.obs`.
+    exclude_dir_names:
+        Directory basenames skipped while walking lint targets.
+    """
+
+    select: Optional[FrozenSet[str]] = None
+    det001_allow_modules: Tuple[str, ...] = ("repro.obs",)
+    det001_banned_calls: FrozenSet[str] = frozenset({
+        "numpy.random.seed",
+        "numpy.random.rand",
+        "numpy.random.randn",
+        "numpy.random.randint",
+        "numpy.random.random",
+        "numpy.random.random_sample",
+        "numpy.random.ranf",
+        "numpy.random.sample",
+        "numpy.random.choice",
+        "numpy.random.shuffle",
+        "numpy.random.permutation",
+        "numpy.random.uniform",
+        "numpy.random.normal",
+        "numpy.random.exponential",
+        "numpy.random.poisson",
+        "numpy.random.RandomState",
+        "numpy.random.set_state",
+        "time.time",
+        "time.time_ns",
+    })
+    mut001_packages: Tuple[str, ...] = (
+        "repro.geometry",
+        "repro.core",
+        "repro.estimators",
+    )
+    # ``ndarray.partition`` is omitted: the name collides with the
+    # repository's own ``Partitioner.partition()`` protocol, which is
+    # pure.
+    mut001_mutating_methods: FrozenSet[str] = frozenset({
+        "sort", "fill", "resize", "put", "setflags", "itemset",
+        "append", "extend", "insert", "remove", "pop", "clear",
+        "reverse", "update", "setdefault", "popitem", "discard",
+    })
+    api001_packages: Tuple[str, ...] = (
+        "repro.geometry",
+        "repro.obs",
+        "repro.core",
+        "repro.estimators",
+        "repro.analysis",
+    )
+    obs_namespaces: FrozenSet[str] = frozenset({
+        "bench", "build", "counting", "data", "equi_area", "equi_count",
+        "estimate", "estimator", "eval", "grid", "lint", "maintenance",
+        "minskew", "obs", "oracle", "partition", "progressive", "rtree",
+        "storage", "tuning", "workload",
+    })
+    exclude_dir_names: Tuple[str, ...] = (
+        "__pycache__", ".git", ".venv", "build", "dist",
+    )
+
+    def replace(self, **changes: Any) -> "LintConfig":
+        """A copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    def wants(self, rule_code: str) -> bool:
+        """True when ``rule_code`` is enabled by this configuration."""
+        return self.select is None or rule_code in self.select
+
+
+#: The repository's standing configuration (what CI enforces).
+DEFAULT_CONFIG = LintConfig()

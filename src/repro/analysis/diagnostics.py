@@ -1,0 +1,57 @@
+"""Diagnostic records produced by the invariant linter.
+
+A :class:`Violation` is one finding at one source location.  Violations
+are value objects: hashable, totally ordered by ``(path, line, col,
+rule)`` so reports are deterministic regardless of rule execution
+order, and serialisable via :meth:`Violation.as_dict` for the JSON
+reporter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["Violation", "PARSE_RULE"]
+
+#: Pseudo-rule code attached to files the linter cannot parse.
+PARSE_RULE = "PARSE"
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One linter finding.
+
+    Attributes
+    ----------
+    path:
+        Source file, as given to the linter (posix separators).
+    line, col:
+        1-based line and 0-based column of the offending node.
+    rule:
+        Rule code (``DET001``, ``NPY001``, ... or :data:`PARSE_RULE`).
+    message:
+        Human-readable explanation, one line.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: RULE message`` — the text-reporter line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} " \
+               f"{self.message}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable representation (keys pinned by the
+        reporter schema in :mod:`repro.analysis.reporters`)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

@@ -233,6 +233,42 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import (
+        DEFAULT_CONFIG,
+        RULES,
+        lint_paths,
+        render_json,
+        render_text,
+    )
+
+    if args.list_rules:
+        for code, rule in sorted(RULES.items()):
+            print(f"{code}  {rule.summary}")
+        return 0
+
+    config = DEFAULT_CONFIG
+    if args.rules:
+        wanted = frozenset(
+            part.strip().upper()
+            for part in args.rules.split(",") if part.strip()
+        )
+        unknown = wanted - set(RULES)
+        if unknown:
+            raise SystemExit(
+                f"unknown rule(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(RULES))}"
+            )
+        config = config.replace(select=wanted)
+
+    result = lint_paths(args.paths or ["src"], config)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.ok else 1
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     datasets = {
         f"{args.small // 1000}K": make_dataset(
@@ -343,6 +379,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_bench)
 
+    p = sub.add_parser(
+        "lint",
+        help="run the repository's AST invariant linter "
+             "(DET/NPY/MUT/OBS/API rules)",
+    )
+    p.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src)",
+    )
+    p.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="report format (json follows the pinned report schema)",
+    )
+    p.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered rule and exit",
+    )
+    p.set_defaults(func=_cmd_lint)
+
     p = sub.add_parser("table1", help="reproduce paper Table 1")
     p.add_argument("--dataset", default="nj_road",
                    choices=dataset_names())
@@ -357,9 +416,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Subcommand failures (bad input, missing files, broken invariants)
+    exit non-zero with a one-line message on stderr — a traceback is a
+    bug in the CLI, not an error report for the user.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return int(args.func(args))
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except BrokenPipeError:
+        # Downstream consumer (``| head``) closed the pipe; not an error.
+        return 0
+    except Exception as exc:  # pragma: no cover - format check in tests
+        kind = type(exc).__name__
+        print(f"repro-spatial: error: {kind}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

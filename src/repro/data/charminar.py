@@ -102,7 +102,7 @@ def charminar(
         raise ValueError("n_interior_blobs must be at least 1")
 
     gen = _as_rng(seed)
-    counts = np.floor(np.asarray(weights) * n).astype(int)
+    counts = np.floor(np.asarray(weights) * n).astype(np.int64)
     counts[0] += n - counts.sum()  # absorb rounding into the densest corner
 
     corners = (

@@ -49,7 +49,7 @@ def _mst_edges(points: np.ndarray) -> List[Tuple[int, int]]:
     k = points.shape[0]
     if k <= 1:
         return []
-    in_tree = np.zeros(k, dtype=bool)
+    in_tree = np.zeros(k, dtype=np.bool_)
     in_tree[0] = True
     best_dist = ((points - points[0]) ** 2).sum(axis=1)
     best_from = np.zeros(k, dtype=np.int64)
@@ -188,7 +188,7 @@ def nj_road_like(
 
     # --- arterial grids ------------------------------------------------
     n_arterial = int(n * arterial_frac)
-    per_city = np.maximum(1, (pop * n_arterial).astype(int))
+    per_city = np.maximum(1, (pop * n_arterial).astype(np.int64))
     arterial_rows: List[np.ndarray] = []
     for c in range(n_cities):
         budget = int(per_city[c])

@@ -27,7 +27,9 @@ WORDS_PER_BUCKET = 8
 class BucketEstimator(SelectivityEstimator):
     """Sums the uniformity-assumption estimate over a bucket list."""
 
-    def __init__(self, buckets: Sequence[Bucket], name: str = "buckets"):
+    def __init__(
+        self, buckets: Sequence[Bucket], name: str = "buckets"
+    ) -> None:
         if not buckets:
             raise ValueError("at least one bucket is required")
         self.buckets: List[Bucket] = list(buckets)

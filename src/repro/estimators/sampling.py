@@ -18,7 +18,7 @@ directly.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Union
 
 import numpy as np
 
@@ -26,6 +26,11 @@ from ..counting import brute_force_counts
 from ..geometry import Rect, RectSet
 from ..obs import OBS
 from .base import SelectivityEstimator
+
+#: Accepted randomness sources: an explicit seed or a threaded
+#: Generator.  ``None`` is deliberately not accepted — an unseeded draw
+#: would make the estimator non-reproducible run to run.
+SeedLike = Union[int, np.random.Generator]
 
 #: Words of summary state per sampled rectangle (its bounding box).
 WORDS_PER_SAMPLE = 4
@@ -62,7 +67,9 @@ class SampleEstimator(SelectivityEstimator):
     sample_size:
         Number of rectangles to keep.
     seed:
-        RNG seed or Generator for the draw.
+        RNG seed or threaded ``numpy.random.Generator`` for the draw.
+        Defaults to a fixed seed so two runs build the same sample;
+        pass a Generator to share a stream across components.
     """
 
     name = "Sample"
@@ -72,7 +79,7 @@ class SampleEstimator(SelectivityEstimator):
         rects: RectSet,
         sample_size: int,
         *,
-        seed: Optional[int] = None,
+        seed: SeedLike = 0,
     ) -> None:
         if len(rects) == 0:
             raise ValueError("cannot sample an empty distribution")

@@ -13,13 +13,14 @@ All summary statistics the paper's formulas use — the dataset MBR
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence, Union
+from typing import Any, Iterable, Iterator, Sequence, Union
 
 import numpy as np
+import numpy.typing as npt
 
 from .rect import Rect
 
-ArrayLike = Union[np.ndarray, Sequence[Sequence[float]]]
+ArrayLike = Union["npt.NDArray[np.float64]", Sequence[Sequence[float]]]
 
 
 class RectSet:
@@ -77,10 +78,10 @@ class RectSet:
     @classmethod
     def from_centers(
         cls,
-        cx: np.ndarray,
-        cy: np.ndarray,
-        widths: np.ndarray,
-        heights: np.ndarray,
+        cx: npt.ArrayLike,
+        cy: npt.ArrayLike,
+        widths: npt.ArrayLike,
+        heights: npt.ArrayLike,
     ) -> "RectSet":
         """Build from per-rectangle centers and full extents."""
         cx = np.asarray(cx, dtype=np.float64)
@@ -128,39 +129,39 @@ class RectSet:
     # columnar views
     # ------------------------------------------------------------------
     @property
-    def coords(self) -> np.ndarray:
+    def coords(self) -> npt.NDArray[np.float64]:
         """Read-only ``(N, 4)`` view of ``(x1, y1, x2, y2)``."""
         return self._coords
 
     @property
-    def x1(self) -> np.ndarray:
+    def x1(self) -> npt.NDArray[np.float64]:
         return self._coords[:, 0]
 
     @property
-    def y1(self) -> np.ndarray:
+    def y1(self) -> npt.NDArray[np.float64]:
         return self._coords[:, 1]
 
     @property
-    def x2(self) -> np.ndarray:
+    def x2(self) -> npt.NDArray[np.float64]:
         return self._coords[:, 2]
 
     @property
-    def y2(self) -> np.ndarray:
+    def y2(self) -> npt.NDArray[np.float64]:
         return self._coords[:, 3]
 
     @property
-    def widths(self) -> np.ndarray:
+    def widths(self) -> npt.NDArray[np.float64]:
         return self.x2 - self.x1
 
     @property
-    def heights(self) -> np.ndarray:
+    def heights(self) -> npt.NDArray[np.float64]:
         return self.y2 - self.y1
 
     @property
-    def areas(self) -> np.ndarray:
+    def areas(self) -> npt.NDArray[np.float64]:
         return self.widths * self.heights
 
-    def centers(self) -> np.ndarray:
+    def centers(self) -> npt.NDArray[np.float64]:
         """``(N, 2)`` array of rectangle centers."""
         cx = (self.x1 + self.x2) / 2.0
         cy = (self.y1 + self.y2) / 2.0
@@ -195,7 +196,7 @@ class RectSet:
     # ------------------------------------------------------------------
     # bulk queries
     # ------------------------------------------------------------------
-    def intersects_mask(self, query: Rect) -> np.ndarray:
+    def intersects_mask(self, query: Rect) -> npt.NDArray[np.bool_]:
         """Boolean mask of rectangles intersecting ``query`` (closed)."""
         c = self._coords
         return (
@@ -209,7 +210,7 @@ class RectSet:
         """Exact |Q| for a single query (vectorised scan)."""
         return int(self.intersects_mask(query).sum())
 
-    def select(self, mask_or_indices: np.ndarray) -> "RectSet":
+    def select(self, mask_or_indices: "npt.NDArray[Any]") -> "RectSet":
         """Subset by boolean mask or index array."""
         return RectSet(self._coords[mask_or_indices], copy=True,
                        validate=False)

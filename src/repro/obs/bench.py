@@ -27,11 +27,13 @@ import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Tuple, Union
+from typing import Any, Callable, Dict, List, Tuple, Union
 
 import numpy as np
+import numpy.typing as npt
 
 from ..core.minskew import MinSkewPartitioner
+from ..geometry import RectSet
 from ..data import make_dataset
 from ..eval import ALL_TECHNIQUES, ExperimentRunner, build_estimator
 from ..eval.metrics import error_summary
@@ -67,7 +69,7 @@ class BenchConfig:
     query_seed: int = 42
     techniques: Tuple[str, ...] = tuple(ALL_TECHNIQUES)
 
-    def replace(self, **changes) -> "BenchConfig":
+    def replace(self, **changes: Any) -> "BenchConfig":
         from dataclasses import replace
 
         return replace(self, **changes)
@@ -95,7 +97,7 @@ FULL_CONFIG = BenchConfig(
 # ----------------------------------------------------------------------
 # instrumentation overhead
 # ----------------------------------------------------------------------
-def _per_call_ns(action, calls: int) -> float:
+def _per_call_ns(action: Callable[[int], None], calls: int) -> float:
     start = time.perf_counter()
     action(calls)
     return (time.perf_counter() - start) / calls * 1e9
@@ -159,8 +161,8 @@ def measure_overhead(
 def _bench_technique(
     technique: str,
     runner: ExperimentRunner,
-    queries,
-    truth: np.ndarray,
+    queries: "RectSet",
+    truth: "npt.NDArray[np.float64]",
     config: BenchConfig,
 ) -> Dict[str, Any]:
     """Build + evaluate one technique with a fresh metrics window."""

@@ -35,7 +35,7 @@ from __future__ import annotations
 import functools
 import json
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 __all__ = [
     "CounterStat",
@@ -59,9 +59,9 @@ class CounterStat:
     __slots__ = ("value",)
 
     def __init__(self) -> None:
-        self.value = 0
+        self.value: float = 0
 
-    def add(self, delta) -> None:
+    def add(self, delta: float) -> None:
         self.value += delta
 
 
@@ -234,7 +234,7 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
-    def add(self, name: str, value=1) -> None:
+    def add(self, name: str, value: float = 1) -> None:
         """Accumulate ``value`` into counter ``name`` (no-op when off)."""
         if not self._enabled:
             return
@@ -252,7 +252,7 @@ class MetricsRegistry:
             stat = self._histograms[name] = HistogramStat()
         stat.observe(value)
 
-    def timer(self, name: str):
+    def timer(self, name: str) -> Union[_NullTimer, _Timing]:
         """Context manager timing a region into timer ``name``.
 
         Disabled registries return one shared no-op object, so call
@@ -265,12 +265,14 @@ class MetricsRegistry:
             stat = self._timers[name] = TimerStat()
         return _Timing(stat)
 
-    def timed(self, name: str) -> Callable:
+    def timed(
+        self, name: str
+    ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
         """Decorator timing every call of the wrapped function."""
 
-        def decorate(func: Callable) -> Callable:
+        def decorate(func: Callable[..., Any]) -> Callable[..., Any]:
             @functools.wraps(func)
-            def wrapper(*args, **kwargs):
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
                 if not self._enabled:
                     return func(*args, **kwargs)
                 with self.timer(name):
@@ -283,7 +285,7 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------
-    def counter_value(self, name: str):
+    def counter_value(self, name: str) -> float:
         """Current value of a counter (0 when never incremented)."""
         stat = self._counters.get(name)
         return stat.value if stat is not None else 0

@@ -52,8 +52,8 @@ class FixedGridPartitioner(Partitioner):
         cell_h = space.height / gy
 
         centers = rects.centers()
-        ix = np.floor((centers[:, 0] - space.x1) / cell_w).astype(int)
-        iy = np.floor((centers[:, 1] - space.y1) / cell_h).astype(int)
+        ix = np.floor((centers[:, 0] - space.x1) / cell_w).astype(np.int64)
+        iy = np.floor((centers[:, 1] - space.y1) / cell_h).astype(np.int64)
         np.clip(ix, 0, gx - 1, out=ix)
         np.clip(iy, 0, gy - 1, out=iy)
         cell = ix * gy + iy

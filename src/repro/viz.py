@@ -38,7 +38,7 @@ def render_density(
     else:
         normalised = d / top
     indices = np.minimum(
-        (normalised * len(ramp)).astype(int), len(ramp) - 1
+        (normalised * len(ramp)).astype(np.int64), len(ramp) - 1
     )
     lines = []
     for iy in range(grid.ny - 1, -1, -1):
