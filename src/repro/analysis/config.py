@@ -85,12 +85,14 @@ class LintConfig:
         "repro.core",
         "repro.estimators",
         "repro.analysis",
+        "repro.errors",
+        "repro.resilience",
     )
     obs_namespaces: FrozenSet[str] = frozenset({
         "bench", "build", "counting", "data", "equi_area", "equi_count",
         "estimate", "estimator", "eval", "grid", "lint", "maintenance",
-        "minskew", "obs", "oracle", "partition", "progressive", "rtree",
-        "storage", "tuning", "workload",
+        "minskew", "obs", "oracle", "partition", "progressive",
+        "resilience", "rtree", "storage", "tuning", "workload",
     })
     exclude_dir_names: Tuple[str, ...] = (
         "__pycache__", ".git", ".venv", "build", "dist",

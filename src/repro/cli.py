@@ -20,8 +20,10 @@ import sys
 from typing import List, Optional
 
 from .data import dataset_names, make_dataset
+from .errors import ReproError
 from .eval import ALL_TECHNIQUES, ExperimentRunner, experiments, report, \
     timed_build
+from .geometry import RectSet
 from .grid import DensityGrid
 from .viz import render_dataset, render_partition
 from .workload import range_queries
@@ -40,6 +42,20 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
         "--seed", type=int, default=None,
         help="dataset RNG seed (default: the dataset's fixed seed)",
     )
+    parser.add_argument(
+        "--dataset-file", default=None, metavar="PATH",
+        help="load rectangles from a .npy/.csv file instead of "
+             "generating --dataset",
+    )
+
+
+def _load_data(args: argparse.Namespace) -> RectSet:
+    """The command's input: a file when given, a generator otherwise."""
+    if getattr(args, "dataset_file", None):
+        from .data import load_rects
+
+        return load_rects(args.dataset_file)
+    return make_dataset(args.dataset, args.n, args.seed)
 
 
 def _cmd_datasets(_: argparse.Namespace) -> int:
@@ -49,14 +65,14 @@ def _cmd_datasets(_: argparse.Namespace) -> int:
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
-    data = make_dataset(args.dataset, args.n, args.seed)
+    data = _load_data(args)
     print(f"# {args.dataset}: {len(data)} rectangles, MBR {data.mbr()}")
     print(render_dataset(data))
     return 0
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
-    data = make_dataset(args.dataset, args.n, args.seed)
+    data = _load_data(args)
     built = timed_build(
         args.technique, data, args.buckets, n_regions=args.regions
     )
@@ -67,8 +83,19 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     )
     buckets = getattr(estimator, "buckets", None)
     if buckets is None:
+        if args.save_histogram:
+            raise ReproError(
+                f"technique {args.technique!r} has no bucket "
+                "histogram to save",
+                hint="use a bucket-based technique such as Min-Skew",
+            )
         print("(technique has no bucket layout to draw)")
         return 0
+    if args.save_histogram:
+        from .storage.persist import save_buckets
+
+        save_buckets(args.save_histogram, buckets)
+        print(f"# saved {len(buckets)} buckets to {args.save_histogram}")
     print(render_partition(buckets, data.mbr()))
     grid = DensityGrid.from_rects(data, 64, 64)
     from .core import grouping_skew_on_boxes
@@ -79,13 +106,31 @@ def _cmd_partition(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    data = make_dataset(args.dataset, args.n, args.seed)
+    estimator = None
+    if args.histogram:
+        # Load before the (possibly expensive) dataset build so a bad
+        # path fails fast.
+        from .estimators import BucketEstimator
+        from .storage.persist import load_buckets
+
+        estimator = BucketEstimator(
+            load_buckets(args.histogram), name="histogram"
+        )
+    data = _load_data(args)
     runner = ExperimentRunner(data)
     queries = range_queries(data, args.qsize, args.queries, seed=42)
     print(
         f"# {args.dataset} n={len(data)} qsize={args.qsize} "
         f"queries={args.queries} buckets={args.buckets}"
     )
+    if estimator is not None:
+        errors = runner.evaluate(estimator, queries)
+        print(
+            f"{'histogram':11s} "
+            f"ARE={errors.average_relative_error:7.3f} "
+            f"({estimator.n_buckets} buckets from {args.histogram})"
+        )
+        return 0
     techniques = [args.technique] if args.technique else ALL_TECHNIQUES
     for technique in techniques:
         errors, build_s = runner.evaluate_technique(
@@ -99,7 +144,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig8(args: argparse.Namespace) -> int:
-    data = make_dataset(args.dataset, args.n, args.seed)
+    data = _load_data(args)
     records = experiments.error_vs_qsize(
         data, n_buckets=args.buckets, n_queries=args.queries,
         rtree_method=args.rtree_method,
@@ -113,7 +158,7 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig9(args: argparse.Namespace) -> int:
-    data = make_dataset(args.dataset, args.n, args.seed)
+    data = _load_data(args)
     records = experiments.error_vs_buckets(
         data, n_queries=args.queries, rtree_method=args.rtree_method,
     )
@@ -129,7 +174,7 @@ def _cmd_fig9(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig10(args: argparse.Namespace) -> int:
-    data = make_dataset(args.dataset, args.n, args.seed)
+    data = _load_data(args)
     records = experiments.error_vs_regions(
         data, n_queries=args.queries, n_buckets=args.buckets,
     )
@@ -141,7 +186,7 @@ def _cmd_fig10(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig11(args: argparse.Namespace) -> int:
-    data = make_dataset(args.dataset, args.n, args.seed)
+    data = _load_data(args)
     records = experiments.progressive_refinement(
         data, n_queries=args.queries, n_buckets=args.buckets,
         n_regions=args.regions,
@@ -156,7 +201,7 @@ def _cmd_fig11(args: argparse.Namespace) -> int:
 def _cmd_tune(args: argparse.Namespace) -> int:
     from .core import tune_min_skew
 
-    data = make_dataset(args.dataset, args.n, args.seed)
+    data = _load_data(args)
     result = tune_min_skew(
         data, args.buckets, n_queries=args.queries, truth=args.truth
     )
@@ -210,7 +255,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if changes:
         config = config.replace(**changes)
 
-    doc, path = write_bench(config, out_dir=args.out)
+    doc, path = write_bench(
+        config,
+        out_dir=args.out,
+        checkpoint_dir=args.checkpoint_dir,
+        deterministic=args.deterministic,
+    )
     overhead = doc["overhead"]
     print(f"# bench {config.name}: {doc['total_seconds']:.1f}s total")
     print(
@@ -231,6 +281,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
     print(f"wrote {path}")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .resilience.chaos import ChaosConfig, format_report, run_chaos
+
+    options = {}
+    if args.budget is not None:
+        options["call_budget_steps"] = args.budget
+    config = ChaosConfig(
+        dataset=args.dataset,
+        n=args.n if args.n is not None else 2_000,
+        n_buckets=args.buckets,
+        n_regions=args.regions,
+        n_queries=args.queries,
+        qsize=args.qsize,
+        plan_seed=args.plan_seed,
+        fault_rate=args.fault_rate,
+        **options,
+    )
+    report_ = run_chaos(config)
+    if args.format == "json":
+        print(_json.dumps(report_.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_report(report_))
+    return 0 if report_.survival == 1.0 else 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -310,6 +387,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=list(ALL_TECHNIQUES))
     p.add_argument("--buckets", type=int, default=50)
     p.add_argument("--regions", type=int, default=10_000)
+    p.add_argument(
+        "--save-histogram", default=None, metavar="PATH",
+        help="persist the bucket histogram as a checksummed artifact",
+    )
     p.set_defaults(func=_cmd_partition)
 
     p = sub.add_parser("evaluate", help="estimate a workload, print ARE")
@@ -320,6 +401,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--regions", type=int, default=10_000)
     p.add_argument("--qsize", type=float, default=0.05)
     p.add_argument("--queries", type=int, default=2_000)
+    p.add_argument(
+        "--histogram", default=None, metavar="PATH",
+        help="evaluate a histogram saved with "
+             "'partition --save-histogram' instead of building one",
+    )
     p.set_defaults(func=_cmd_evaluate)
 
     for name, func, extra in (
@@ -377,7 +463,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--datasets", default=None,
         help="comma-separated name:size pairs, e.g. charminar:2000",
     )
+    p.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist per-cell checkpoints; an interrupted run "
+             "resumes from the last completed cell",
+    )
+    p.add_argument(
+        "--deterministic", action="store_true",
+        help="zero all wall-clock fields so the artifact depends only "
+             "on config and seeds (resume becomes byte-identical)",
+    )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run the workload under deterministic fault injection "
+             "and report survival",
+    )
+    p.add_argument("--dataset", default="charminar",
+                   choices=dataset_names())
+    p.add_argument("--n", type=int, default=None,
+                   help="dataset size (default: 2000)")
+    p.add_argument("--buckets", type=int, default=40)
+    p.add_argument("--regions", type=int, default=2_500)
+    p.add_argument("--queries", type=int, default=300)
+    p.add_argument("--qsize", type=float, default=0.05)
+    p.add_argument("--fault-rate", type=float, default=0.2,
+                   help="per-call fault probability (default: 0.2)")
+    p.add_argument("--plan-seed", type=int, default=7,
+                   help="fault plan RNG seed (default: 7)")
+    p.add_argument("--budget", type=int, default=None,
+                   help="per-query step budget "
+                        "(default: the chain's standard budget)")
+    p.add_argument("--format", default="text",
+                   choices=("text", "json"))
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(
         "lint",
@@ -430,6 +550,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except BrokenPipeError:
         # Downstream consumer (``| head``) closed the pipe; not an error.
         return 0
+    except ReproError as exc:
+        kind = type(exc).__name__
+        line = f"repro-spatial: error: {kind}: {exc}"
+        if exc.hint:
+            line += f" (hint: {exc.hint})"
+        print(line, file=sys.stderr)
+        return 1
     except Exception as exc:  # pragma: no cover - format check in tests
         kind = type(exc).__name__
         print(f"repro-spatial: error: {kind}: {exc}", file=sys.stderr)

@@ -3,7 +3,7 @@
 TIGER NJ-Road and Sequoia real-life sets (see DESIGN.md §5)."""
 
 from .charminar import CHARMINAR_N, CHARMINAR_SIDE, CHARMINAR_SPACE, charminar
-from .io import load_csv, load_npy, save_csv, save_npy
+from .io import load_csv, load_npy, load_rects, save_csv, save_npy
 from .registry import (
     dataset_names,
     default_size,
@@ -45,4 +45,5 @@ __all__ = [
     "load_npy",
     "save_csv",
     "load_csv",
+    "load_rects",
 ]

@@ -4,6 +4,12 @@ Experiments that sweep many configurations over the same dataset save the
 generated rectangles once and reload them, so all techniques see exactly
 the same input (and so full-scale datasets need not be regenerated per
 run).
+
+:func:`load_rects` is the guarded entry point the CLI and resilience
+layer use: it dispatches on the file suffix, announces the
+``data.load`` fault-injection site, and converts every failure mode —
+missing file, unparseable content, invalid rectangles — into the typed
+:mod:`repro.errors` hierarchy with an actionable hint.
 """
 
 from __future__ import annotations
@@ -14,7 +20,9 @@ from typing import Union
 
 import numpy as np
 
+from ..errors import ArtifactCorruptError, ArtifactMissingError
 from ..geometry import RectSet
+from ..resilience.faults import fire
 
 PathLike = Union[str, Path]
 
@@ -66,3 +74,42 @@ def load_csv(path: PathLike) -> RectSet:
     if not rows:
         return RectSet.empty()
     return RectSet(np.asarray(rows), copy=False, validate=True)
+
+
+#: Suffixes :func:`load_rects` understands, mapped to their loaders.
+_LOADERS = {".npy": load_npy, ".csv": load_csv}
+
+
+def load_rects(path: PathLike) -> RectSet:
+    """Load a rectangle file (``.npy`` or ``.csv``) with typed errors.
+
+    Raises
+    ------
+    ArtifactMissingError
+        ``path`` does not exist (or has an unsupported suffix).
+    ArtifactCorruptError
+        The file exists but cannot be parsed into valid rectangles.
+    """
+    fire("data.load")
+    path = Path(path)
+    loader = _LOADERS.get(path.suffix.lower())
+    if loader is None:
+        raise ArtifactMissingError(
+            f"unsupported dataset file type {path.suffix!r}: {path}",
+            hint="supported suffixes: "
+                 + ", ".join(sorted(_LOADERS)),
+        )
+    if not path.exists():
+        raise ArtifactMissingError(
+            f"dataset file not found: {path}",
+            hint="check the path, or generate one with "
+                 "repro.data.save_npy/save_csv",
+        )
+    try:
+        return loader(path)
+    except (ValueError, OSError) as exc:
+        raise ArtifactCorruptError(
+            f"corrupt dataset file {path}: {exc}",
+            hint="regenerate the file; partial or non-rectangular "
+                 "content is rejected",
+        ) from exc

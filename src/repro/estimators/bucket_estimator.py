@@ -13,7 +13,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core.bucket import Bucket, estimate_many
-from ..geometry import Rect, RectSet
+from ..geometry import Rect, RectSet, require_nonempty
 from ..obs import OBS
 from ..partitioners.base import Partitioner
 from .base import SelectivityEstimator
@@ -30,8 +30,7 @@ class BucketEstimator(SelectivityEstimator):
     def __init__(
         self, buckets: Sequence[Bucket], name: str = "buckets"
     ) -> None:
-        if not buckets:
-            raise ValueError("at least one bucket is required")
+        require_nonempty(len(buckets), what="bucket list")
         self.buckets: List[Bucket] = list(buckets)
         self.name = name
 

@@ -28,7 +28,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..geometry import Rect, RectSet
+from ..geometry import Rect, RectSet, require_nonempty
 from ..grid import DensityGrid
 from ..obs import OBS
 from .base import SelectivityEstimator
@@ -112,8 +112,7 @@ class FractalEstimator(SelectivityEstimator):
         max_level: int = 8,
         bounds: Optional[Rect] = None,
     ) -> None:
-        if len(rects) == 0:
-            raise ValueError("cannot summarise an empty distribution")
+        require_nonempty(len(rects))
         self.n_input = len(rects)
         self.bounds = bounds if bounds is not None else rects.mbr()
         self.avg_width = rects.avg_width()

@@ -23,7 +23,7 @@ from typing import Iterable, List, Union
 import numpy as np
 
 from ..counting import brute_force_counts
-from ..geometry import Rect, RectSet
+from ..geometry import Rect, RectSet, require_nonempty
 from ..obs import OBS
 from .base import SelectivityEstimator
 
@@ -81,8 +81,7 @@ class SampleEstimator(SelectivityEstimator):
         *,
         seed: SeedLike = 0,
     ) -> None:
-        if len(rects) == 0:
-            raise ValueError("cannot sample an empty distribution")
+        require_nonempty(len(rects))
         if sample_size < 1:
             raise ValueError("sample_size must be at least 1")
         rng = seed if isinstance(seed, np.random.Generator) \

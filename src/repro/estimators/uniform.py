@@ -14,7 +14,7 @@ trivial single bucket approximation."
 from __future__ import annotations
 
 from ..core.bucket import Bucket
-from ..geometry import RectSet
+from ..geometry import RectSet, require_nonempty
 from .bucket_estimator import BucketEstimator
 
 
@@ -22,7 +22,6 @@ class UniformEstimator(BucketEstimator):
     """One bucket over the whole input MBR."""
 
     def __init__(self, rects: RectSet) -> None:
-        if len(rects) == 0:
-            raise ValueError("cannot summarise an empty distribution")
+        require_nonempty(len(rects))
         bucket = Bucket.from_members(rects.mbr(), rects)
         super().__init__([bucket], name="Uniform")

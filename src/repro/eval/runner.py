@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -174,3 +175,71 @@ class ExperimentRunner:
                             **build_kwargs)
         return self.evaluate(built.estimator, queries), \
             built.build_seconds
+
+    def evaluate_sweep(
+        self,
+        techniques: Sequence[str],
+        queries: RectSet,
+        n_buckets: int,
+        *,
+        checkpoint_dir: Union[str, Path, None] = None,
+        **build_kwargs,
+    ) -> Dict[str, ErrorSummary]:
+        """Evaluate several techniques, checkpointing each as it lands.
+
+        With ``checkpoint_dir``, every finished technique's error
+        summary is written through :class:`repro.storage.CheckpointStore`
+        (atomic, checksummed); a killed sweep restarted with the same
+        arguments resumes from the last completed technique.  The store
+        is fingerprinted over the sweep parameters, so a checkpoint
+        directory left over from a different sweep raises rather than
+        contaminating results.
+        """
+        store = None
+        if checkpoint_dir is not None:
+            # Deferred import: repro.storage pulls in the resilience
+            # fault sites, which the plain evaluation path never needs.
+            from ..storage.checkpoint import (
+                CheckpointStore,
+                config_fingerprint,
+            )
+
+            fingerprint = config_fingerprint(
+                {
+                    "techniques": list(techniques),
+                    "n_buckets": n_buckets,
+                    "n_data": len(self.data),
+                    "n_queries": len(queries),
+                    "build_kwargs": {
+                        k: repr(v) for k, v in sorted(build_kwargs.items())
+                    },
+                }
+            )
+            store = CheckpointStore(checkpoint_dir, fingerprint)
+
+        results: Dict[str, ErrorSummary] = {}
+        for technique in techniques:
+            if store is not None:
+                cached = store.load(technique)
+                if cached is not None:
+                    results[technique] = ErrorSummary(**cached)
+                    continue
+            summary, _ = self.evaluate_technique(
+                technique, queries, n_buckets, **build_kwargs
+            )
+            results[technique] = summary
+            if store is not None:
+                store.save(
+                    technique,
+                    {
+                        "average_relative_error":
+                            summary.average_relative_error,
+                        "mean_per_query_error":
+                            summary.mean_per_query_error,
+                        "median_per_query_error":
+                            summary.median_per_query_error,
+                        "rmse": summary.rmse,
+                        "n_queries": summary.n_queries,
+                    },
+                )
+        return results

@@ -1,7 +1,20 @@
 """Rectangle geometry kernel: scalar :class:`Rect` and columnar
-:class:`RectSet` primitives used by every other subsystem."""
+:class:`RectSet` primitives used by every other subsystem, plus the
+single validation helper every input check routes through."""
 
 from .rect import Rect, mbr_of
 from .rectset import RectSet
+from .validate import (
+    require_nonempty,
+    validate_coords_array,
+    validate_extent,
+)
 
-__all__ = ["Rect", "RectSet", "mbr_of"]
+__all__ = [
+    "Rect",
+    "RectSet",
+    "mbr_of",
+    "validate_extent",
+    "validate_coords_array",
+    "require_nonempty",
+]

@@ -18,9 +18,10 @@ is simply a rectangle with ``x1 == x2`` and ``y1 == y2`` (Section 2).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Iterator, Tuple
+
+from .validate import validate_extent
 
 
 @dataclass(frozen=True)
@@ -41,15 +42,7 @@ class Rect:
     y2: float
 
     def __post_init__(self) -> None:
-        if self.x2 < self.x1 or self.y2 < self.y1:
-            raise ValueError(
-                f"invalid rectangle: ({self.x1}, {self.y1}, {self.x2}, "
-                f"{self.y2}) has negative extent"
-            )
-        if not all(
-            math.isfinite(v) for v in (self.x1, self.y1, self.x2, self.y2)
-        ):
-            raise ValueError("rectangle coordinates must be finite")
+        validate_extent(self.x1, self.y1, self.x2, self.y2)
 
     # ------------------------------------------------------------------
     # constructors

@@ -19,6 +19,7 @@ import numpy as np
 import numpy.typing as npt
 
 from .rect import Rect
+from .validate import validate_coords_array
 
 ArrayLike = Union["npt.NDArray[np.float64]", Sequence[Sequence[float]]]
 
@@ -52,14 +53,7 @@ class RectSet:
         if copy:
             arr = arr.copy()
         if validate and arr.size:
-            if not np.isfinite(arr).all():
-                raise ValueError("rectangle coordinates must be finite")
-            bad = (arr[:, 2] < arr[:, 0]) | (arr[:, 3] < arr[:, 1])
-            if bad.any():
-                first = int(np.flatnonzero(bad)[0])
-                raise ValueError(
-                    f"rectangle {first} has negative extent: {arr[first]}"
-                )
+            validate_coords_array(arr)
         arr.setflags(write=False)
         self._coords = arr
 

@@ -17,6 +17,20 @@ metrics collection enabled, and emits one ``BENCH_<name>.json`` artifact
 The quick configuration (``repro-spatial bench --quick``) finishes in
 well under a minute and is the baseline every perf PR compares against;
 ``--full`` runs the same pipeline at paper scale.
+
+Two resilience knobs ride on top of the plain run:
+
+* ``checkpoint_dir`` — every (dataset, technique) cell is persisted to a
+  :class:`repro.storage.CheckpointStore` as soon as it finishes, so a
+  run killed mid-way resumes from the last completed cell instead of
+  starting over.  The store is fingerprinted by the benchmark config, so
+  stale checkpoints from a different configuration are rejected rather
+  than silently mixed in.
+* ``deterministic`` — zeroes every wall-clock field (timestamps, build
+  and estimate times, overhead probes, stage timers), leaving only the
+  seed-driven values.  A killed-and-resumed deterministic run is
+  byte-identical to an uninterrupted one, which is what the resume test
+  asserts.
 """
 
 from __future__ import annotations
@@ -27,7 +41,7 @@ import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 import numpy.typing as npt
@@ -37,6 +51,8 @@ from ..geometry import RectSet
 from ..data import make_dataset
 from ..eval import ALL_TECHNIQUES, ExperimentRunner, build_estimator
 from ..eval.metrics import error_summary
+from ..storage.checkpoint import CheckpointStore, config_fingerprint
+from ..storage.persist import atomic_write_text
 from ..workload import range_queries
 from .metrics import OBS, MetricsRegistry
 from .schema import SCHEMA_VERSION, validate_bench
@@ -158,6 +174,28 @@ def measure_overhead(
 # ----------------------------------------------------------------------
 # the benchmark itself
 # ----------------------------------------------------------------------
+def _zero_overhead() -> Dict[str, float]:
+    """Overhead section of a deterministic run (no wall-clock probes)."""
+    return {
+        "disabled_counter_ns": 0.0,
+        "disabled_timer_ns": 0.0,
+        "enabled_counter_ns": 0.0,
+        "enabled_timer_ns": 0.0,
+        "minskew_disabled_s": 0.0,
+        "minskew_enabled_s": 0.0,
+    }
+
+
+def _scrub_cell(cell: Dict[str, Any]) -> Dict[str, Any]:
+    """Zero the wall-clock fields of one technique record in place."""
+    cell["build_seconds"] = 0.0
+    cell["estimate_seconds"] = 0.0
+    metrics = cell.get("metrics")
+    if isinstance(metrics, dict):
+        metrics["timers"] = {}
+    return cell
+
+
 def _bench_technique(
     technique: str,
     runner: ExperimentRunner,
@@ -198,50 +236,114 @@ def _bench_technique(
 
 
 def _bench_dataset(
-    dataset: str, n: int, config: BenchConfig
+    dataset: str,
+    n: int,
+    config: BenchConfig,
+    *,
+    store: Optional[CheckpointStore] = None,
+    deterministic: bool = False,
 ) -> Dict[str, Any]:
-    data = make_dataset(dataset, n)
-    queries = range_queries(
-        data, config.qsize, config.n_queries, seed=config.query_seed
-    )
-    runner = ExperimentRunner(data)
+    meta_key = f"{dataset}:{n}:meta"
+    cells: Dict[str, Any] = {}
+    meta: Optional[Dict[str, Any]] = None
+    if store is not None:
+        meta = store.load(meta_key)
+        for technique in config.techniques:
+            cached = store.load(f"{dataset}:{n}:{technique}")
+            if cached is not None:
+                cells[technique] = cached
+    missing = [t for t in config.techniques if t not in cells]
 
-    OBS.reset()
+    if missing or meta is None:
+        data = make_dataset(dataset, n)
+        queries = range_queries(
+            data, config.qsize, config.n_queries, seed=config.query_seed
+        )
+        runner = ExperimentRunner(data)
+
+        OBS.reset()
+        start = time.perf_counter()
+        truth = runner.true_counts(queries)
+        truth_seconds = time.perf_counter() - start
+
+        meta = {
+            "dataset": dataset,
+            "n": int(len(data)),
+            "n_queries": int(len(queries)),
+            "qsize": config.qsize,
+            "truth_seconds": 0.0 if deterministic else truth_seconds,
+        }
+        if store is not None:
+            store.save(meta_key, meta)
+        for technique in missing:
+            cell = _bench_technique(technique, runner, queries, truth,
+                                    config)
+            if deterministic:
+                cell = _scrub_cell(cell)
+            cells[technique] = cell
+            if store is not None:
+                store.save(f"{dataset}:{n}:{technique}", cell)
+
+    record = dict(meta)
+    record["techniques"] = [cells[t] for t in config.techniques]
+    return record
+
+
+def run_bench(
+    config: BenchConfig = QUICK_CONFIG,
+    *,
+    checkpoint_dir: Union[str, Path, None] = None,
+    deterministic: bool = False,
+) -> Dict[str, Any]:
+    """Run the workload and return the (validated) artifact document.
+
+    With ``checkpoint_dir``, completed (dataset, technique) cells are
+    persisted as they finish and reused on the next invocation.  With
+    ``deterministic``, every wall-clock field is zeroed so the artifact
+    depends only on the config and seeds (and hence an interrupted and
+    resumed run is byte-identical to a fresh one).
+    """
     start = time.perf_counter()
-    truth = runner.true_counts(queries)
-    truth_seconds = time.perf_counter() - start
+    store: Optional[CheckpointStore] = None
+    if checkpoint_dir is not None:
+        fingerprint = config_fingerprint(
+            {
+                "schema_version": SCHEMA_VERSION,
+                "name": config.name,
+                "datasets": [list(pair) for pair in config.datasets],
+                "n_buckets": config.n_buckets,
+                "n_regions": config.n_regions,
+                "n_queries": config.n_queries,
+                "qsize": config.qsize,
+                "query_seed": config.query_seed,
+                "techniques": list(config.techniques),
+                "deterministic": deterministic,
+            }
+        )
+        store = CheckpointStore(checkpoint_dir, fingerprint)
 
-    techniques = [
-        _bench_technique(technique, runner, queries, truth, config)
-        for technique in config.techniques
-    ]
-    return {
-        "dataset": dataset,
-        "n": int(len(data)),
-        "n_queries": int(len(queries)),
-        "qsize": config.qsize,
-        "truth_seconds": truth_seconds,
-        "techniques": techniques,
-    }
-
-
-def run_bench(config: BenchConfig = QUICK_CONFIG) -> Dict[str, Any]:
-    """Run the workload and return the (validated) artifact document."""
-    start = time.perf_counter()
-    overhead = measure_overhead()
+    overhead = _zero_overhead() if deterministic else measure_overhead()
 
     datasets: List[Dict[str, Any]] = []
     with OBS.scope():
         try:
             for dataset, n in config.datasets:
-                datasets.append(_bench_dataset(dataset, n, config))
+                datasets.append(
+                    _bench_dataset(
+                        dataset,
+                        n,
+                        config,
+                        store=store,
+                        deterministic=deterministic,
+                    )
+                )
         finally:
             OBS.reset()
 
     doc: Dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,
         "name": config.name,
-        "created_unix": time.time(),
+        "created_unix": 0.0 if deterministic else time.time(),
         "config": {
             "datasets": [list(pair) for pair in config.datasets],
             "n_buckets": config.n_buckets,
@@ -258,7 +360,8 @@ def run_bench(config: BenchConfig = QUICK_CONFIG) -> Dict[str, Any]:
         },
         "overhead": overhead,
         "datasets": datasets,
-        "total_seconds": time.perf_counter() - start,
+        "total_seconds": 0.0 if deterministic
+        else time.perf_counter() - start,
     }
     validate_bench(doc)
     return doc
@@ -267,11 +370,24 @@ def run_bench(config: BenchConfig = QUICK_CONFIG) -> Dict[str, Any]:
 def write_bench(
     config: BenchConfig = QUICK_CONFIG,
     out_dir: Union[str, Path] = ".",
+    *,
+    checkpoint_dir: Union[str, Path, None] = None,
+    deterministic: bool = False,
 ) -> Tuple[Dict[str, Any], Path]:
-    """Run the workload and write ``BENCH_<name>.json`` to ``out_dir``."""
-    doc = run_bench(config)
+    """Run the workload and write ``BENCH_<name>.json`` to ``out_dir``.
+
+    The artifact is written atomically (temp file + fsync + rename), so
+    a crash mid-write never leaves a truncated BENCH file behind.
+    """
+    doc = run_bench(
+        config,
+        checkpoint_dir=checkpoint_dir,
+        deterministic=deterministic,
+    )
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     path = out / f"BENCH_{config.name}.json"
-    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(
+        path, json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    )
     return doc, path

@@ -1,0 +1,88 @@
+"""Deterministic logical time for the resilience layer.
+
+Budgets, backoff, and circuit-breaker cooldowns must be byte-identical
+run to run (the DET001 invariant forbids wall-clock reads in result
+paths), so the resilience layer counts **steps** on an injectable
+:class:`StepClock` instead of reading real time.  A "step" is one unit
+of abstract work: call sites advance the clock when they do work, the
+fault injector's ``slow`` faults advance it to simulate stalls, and
+:class:`Deadline` turns a step budget into a typed
+:class:`~repro.errors.DeadlineError`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import DeadlineError
+
+__all__ = ["StepClock", "Deadline"]
+
+
+class StepClock:
+    """A monotone counter standing in for wall-clock time."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: int = 0) -> None:
+        self._now = int(start)
+
+    def now(self) -> int:
+        """Current step count."""
+        return self._now
+
+    def advance(self, steps: int = 1) -> int:
+        """Advance by ``steps`` (must be non-negative); returns now()."""
+        if steps < 0:
+            raise ValueError("clock can only advance forward")
+        self._now += int(steps)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"StepClock(now={self._now})"
+
+
+class Deadline:
+    """A per-call step budget over a :class:`StepClock`.
+
+    Parameters
+    ----------
+    clock:
+        The logical clock charged against.
+    budget_steps:
+        Steps available before :meth:`check` raises; ``None`` means
+        unlimited (every check passes).
+    """
+
+    __slots__ = ("_clock", "_budget", "_start")
+
+    def __init__(
+        self, clock: StepClock, budget_steps: Optional[int]
+    ) -> None:
+        if budget_steps is not None and budget_steps < 0:
+            raise ValueError("budget_steps must be non-negative")
+        self._clock = clock
+        self._budget = budget_steps
+        self._start = clock.now()
+
+    def elapsed(self) -> int:
+        """Steps consumed since this deadline was armed."""
+        return self._clock.now() - self._start
+
+    def remaining(self) -> Optional[int]:
+        """Steps left, or ``None`` for an unlimited budget."""
+        if self._budget is None:
+            return None
+        return max(0, self._budget - self.elapsed())
+
+    def expired(self) -> bool:
+        return self.remaining() == 0 if self._budget is not None \
+            else False
+
+    def check(self, label: str = "call") -> None:
+        """Raise :class:`DeadlineError` when the budget is exhausted."""
+        if self.expired():
+            raise DeadlineError(
+                f"{label} exceeded its budget of {self._budget} steps",
+                hint="raise the step budget or use a cheaper technique",
+            )

@@ -1,0 +1,69 @@
+"""Bounded retry with deterministic backoff.
+
+Retries are reserved for errors that declare themselves
+:attr:`~repro.errors.ReproError.retryable` (transient IO).  Backoff is
+charged to the injectable :class:`~repro.resilience.clock.StepClock` —
+no real sleeping, no wall clock — so retried runs stay byte-identical
+and tests run at full speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from ..errors import ReproError
+from ..obs import OBS
+from .clock import StepClock
+
+__all__ = ["RetryPolicy", "with_retry"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently to retry a retryable failure.
+
+    ``backoff_steps * backoff_factor**(attempt-1)`` clock steps are
+    charged before attempt ``attempt+1``.
+    """
+
+    max_attempts: int = 3
+    backoff_steps: int = 1
+    backoff_factor: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_steps < 0 or self.backoff_factor < 1:
+            raise ValueError("invalid backoff parameters")
+
+    def backoff_for(self, attempt: int) -> int:
+        """Steps to wait after failed attempt ``attempt`` (1-based)."""
+        return self.backoff_steps * self.backoff_factor ** (attempt - 1)
+
+
+def with_retry(
+    operation: Callable[[], T],
+    policy: RetryPolicy,
+    clock: StepClock,
+    *,
+    label: str = "operation",
+) -> T:
+    """Run ``operation``, retrying retryable :class:`ReproError`\\ s.
+
+    Non-retryable errors propagate immediately; the last retryable
+    error propagates once ``policy.max_attempts`` is exhausted.  Every
+    retry is counted on ``resilience.retries``.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return operation()
+        except ReproError as exc:
+            if not exc.retryable or attempt >= policy.max_attempts:
+                raise
+            OBS.add("resilience.retries")
+            clock.advance(policy.backoff_for(attempt))

@@ -3,6 +3,7 @@ the substrate that turns Section 3.5's disk-access arguments into
 measurable numbers."""
 
 from .buffer import BufferPool
+from .checkpoint import CheckpointStore, config_fingerprint
 from .external import (
     external_density_grid,
     external_mbr,
@@ -11,6 +12,16 @@ from .external import (
     multipass_equi_area,
 )
 from .pagefile import DEFAULT_PAGE_CAPACITY, PageFile
+from .persist import (
+    atomic_write_bytes,
+    atomic_write_text,
+    load_buckets,
+    load_rectset,
+    read_artifact,
+    save_buckets,
+    save_rectset,
+    write_artifact,
+)
 
 __all__ = [
     "PageFile",
@@ -21,4 +32,14 @@ __all__ = [
     "external_min_skew",
     "external_reservoir_sample",
     "multipass_equi_area",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "write_artifact",
+    "read_artifact",
+    "save_buckets",
+    "load_buckets",
+    "save_rectset",
+    "load_rectset",
+    "CheckpointStore",
+    "config_fingerprint",
 ]

@@ -1,0 +1,168 @@
+"""Checkpoint/resume for long experiment runs.
+
+A :class:`CheckpointStore` is a directory of checksummed per-cell
+artifacts plus a ``meta`` record pinning the run's configuration
+fingerprint.  An experiment writes each completed cell (one dataset ×
+technique evaluation, one sweep point, ...) with an atomic replace; a
+run killed at any instant — including SIGKILL mid-write — restarts by
+loading every intact cell and recomputing only the missing ones, which
+makes resumed runs **bit-identical** to uninterrupted ones for
+deterministic workloads.
+
+Safety properties:
+
+* a cell that fails its checksum (torn by a crash predating atomic
+  writes, or corrupted on disk) is treated as *missing* and recomputed,
+  never half-loaded;
+* resuming under a different configuration fingerprint raises
+  :class:`~repro.errors.CheckpointError` instead of silently mixing
+  results from two experiments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..errors import (
+    ArtifactCorruptError,
+    ArtifactMissingError,
+    CheckpointError,
+)
+from ..obs import OBS
+from .persist import read_artifact, write_artifact
+
+__all__ = ["CheckpointStore", "config_fingerprint"]
+
+PathLike = Union[str, Path]
+
+_META_KIND = "checkpoint-meta"
+_CELL_KIND = "checkpoint-cell"
+_UNSAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def config_fingerprint(config: Any) -> str:
+    """Stable fingerprint of a JSON-serialisable configuration."""
+    body = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
+
+
+class CheckpointStore:
+    """A directory of resumable, checksummed experiment cells.
+
+    Parameters
+    ----------
+    directory:
+        Where cells live; created if absent.
+    fingerprint:
+        The owning run's configuration fingerprint (see
+        :func:`config_fingerprint`).  A store created under one
+        fingerprint refuses to resume under another.
+    """
+
+    def __init__(self, directory: PathLike, fingerprint: str) -> None:
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._check_meta()
+
+    # ------------------------------------------------------------------
+    def _meta_path(self) -> Path:
+        return self.directory / "meta.json"
+
+    def _check_meta(self) -> None:
+        try:
+            meta = read_artifact(self._meta_path(), kind=_META_KIND)
+        except ArtifactMissingError:
+            write_artifact(
+                self._meta_path(),
+                {"fingerprint": self.fingerprint},
+                kind=_META_KIND,
+            )
+            return
+        except ArtifactCorruptError:
+            # A torn meta write cannot vouch for any cell: start over.
+            OBS.add("storage.checkpoint_meta_corrupt")
+            self.clear()
+            write_artifact(
+                self._meta_path(),
+                {"fingerprint": self.fingerprint},
+                kind=_META_KIND,
+            )
+            return
+        found = meta.get("fingerprint")
+        if found != self.fingerprint:
+            raise CheckpointError(
+                f"checkpoint directory {self.directory} belongs to a "
+                f"different run configuration "
+                f"(found {found!r}, expected {self.fingerprint!r})",
+                hint="point --checkpoint-dir at a fresh directory or "
+                     "delete the stale one",
+            )
+
+    def _cell_path(self, key: str) -> Path:
+        safe = _UNSAFE.sub("_", key)
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:10]
+        return self.directory / f"cell-{safe}-{digest}.json"
+
+    # ------------------------------------------------------------------
+    def save(self, key: str, cell: Any) -> None:
+        """Atomically persist one completed cell under ``key``."""
+        write_artifact(
+            self._cell_path(key),
+            {"key": key, "cell": cell},
+            kind=_CELL_KIND,
+        )
+        OBS.add("storage.checkpoint_saves")
+
+    def load(self, key: str) -> Optional[Any]:
+        """The stored cell for ``key``, or ``None`` when absent.
+
+        A corrupt cell (torn/poisoned file) counts as absent — the
+        caller recomputes it — and is counted on
+        ``storage.checkpoint_corrupt``.
+        """
+        try:
+            payload = read_artifact(self._cell_path(key),
+                                    kind=_CELL_KIND)
+        except ArtifactMissingError:
+            return None
+        except ArtifactCorruptError:
+            OBS.add("storage.checkpoint_corrupt")
+            return None
+        if payload.get("key") != key:
+            OBS.add("storage.checkpoint_corrupt")
+            return None
+        OBS.add("storage.checkpoint_hits")
+        return payload.get("cell")
+
+    def keys(self) -> List[str]:
+        """Keys of every intact stored cell."""
+        found: List[str] = []
+        for path in sorted(self.directory.glob("cell-*.json")):
+            try:
+                payload = read_artifact(path, kind=_CELL_KIND)
+            except (ArtifactMissingError, ArtifactCorruptError):
+                continue
+            key = payload.get("key")
+            if isinstance(key, str):
+                found.append(key)
+        return found
+
+    def clear(self) -> None:
+        """Delete every cell (and stray tmp files); keeps the dir."""
+        for path in self.directory.iterdir():
+            if path.is_file():
+                path.unlink()
+
+    def stats(self) -> Dict[str, int]:
+        return {"cells": len(self.keys())}
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckpointStore({str(self.directory)!r}, "
+            f"fingerprint={self.fingerprint!r})"
+        )

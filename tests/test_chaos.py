@@ -1,0 +1,135 @@
+"""Chaos and crash-safety: the availability contract under injected
+faults, and bit-identical resume after a SIGKILL mid-benchmark."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.resilience import ChaosConfig, run_chaos
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+#: Small but non-trivial chaos workload: finishes in a few seconds,
+#: injects dozens of faults at the issue's 20% floor.
+CHAOS_CONFIG = ChaosConfig(
+    n=1_200, n_buckets=20, n_regions=900, n_queries=150,
+    fault_rate=0.2,
+)
+
+
+class TestChaosSurvival:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_chaos(CHAOS_CONFIG)
+
+    def test_full_availability_under_faults(self, report):
+        """>=20% fault injection, yet every query answers finitely."""
+        assert report.survival == 1.0
+        assert report.finite_estimates == report.n_queries
+        assert report.total_injected > 0
+        # the fault mix actually exercised the primary path
+        fired_primary = report.fired.get("estimator.Min-Skew", 0)
+        assert report.injected.get("estimator.Min-Skew", 0) \
+            >= 0.1 * max(fired_primary, 1)
+
+    def test_degradations_are_observable(self, report):
+        """Every lost fight shows up in the resilience counters."""
+        assert sum(report.served.values()) + report.last_resort \
+            == report.n_queries
+        assert report.retries > 0
+        assert report.counters.get("resilience.queries") \
+            == report.n_queries
+
+    def test_byte_deterministic_for_fixed_seed(self, report):
+        again = run_chaos(CHAOS_CONFIG)
+        assert again.estimates_sha256 == report.estimates_sha256
+        assert again.injected == report.injected
+        assert again.fired == report.fired
+        assert again.to_dict() == report.to_dict()
+
+    def test_zero_fault_rate_never_degrades(self):
+        clean = run_chaos(ChaosConfig(
+            n=600, n_buckets=10, n_regions=256, n_queries=40,
+            fault_rate=0.0, plan=None,
+        ))
+        assert clean.survival == 1.0
+        assert clean.degraded == 0
+        assert clean.served.get("Min-Skew") == clean.n_queries
+
+
+# ----------------------------------------------------------------------
+# kill-and-resume: SIGKILL a checkpointed benchmark, resume, compare
+# ----------------------------------------------------------------------
+BENCH_ARGS = [
+    "bench", "--quick", "--deterministic",
+    "--datasets", "charminar:800",
+    "--buckets", "10", "--regions", "400", "--queries", "60",
+    "--name", "resume",
+]
+
+
+def _bench_cmd(out_dir: Path, checkpoint_dir: Path):
+    return [
+        sys.executable, "-m", "repro", *BENCH_ARGS,
+        "--out", str(out_dir), "--checkpoint-dir", str(checkpoint_dir),
+    ]
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    return env
+
+
+class TestKillAndResume:
+    def test_sigkilled_bench_resumes_bit_identical(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        out_killed = tmp_path / "killed"
+        out_fresh = tmp_path / "fresh"
+
+        # Start a checkpointed run and SIGKILL it as soon as the first
+        # cell lands on disk (if it finishes first, that's fine too —
+        # the byte-comparison below is the real assertion).
+        proc = subprocess.Popen(
+            _bench_cmd(out_killed, ckpt), env=_env(), cwd=REPO_ROOT,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + 120
+        try:
+            while time.monotonic() < deadline:
+                if proc.poll() is not None:
+                    break
+                if list(ckpt.glob("cell-*.json")):
+                    proc.send_signal(signal.SIGKILL)
+                    break
+                time.sleep(0.05)
+            proc.wait(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        # Resume against the surviving checkpoints; must complete.
+        resumed = subprocess.run(
+            _bench_cmd(out_killed, ckpt), env=_env(), cwd=REPO_ROOT,
+            capture_output=True, text=True, timeout=240,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+
+        # An uninterrupted deterministic run, fresh checkpoint dir.
+        fresh = subprocess.run(
+            _bench_cmd(out_fresh, tmp_path / "ckpt-fresh"),
+            env=_env(), cwd=REPO_ROOT,
+            capture_output=True, text=True, timeout=240,
+        )
+        assert fresh.returncode == 0, fresh.stderr
+
+        resumed_bytes = (out_killed / "BENCH_resume.json").read_bytes()
+        fresh_bytes = (out_fresh / "BENCH_resume.json").read_bytes()
+        assert resumed_bytes == fresh_bytes

@@ -1,0 +1,378 @@
+"""Unit tests for the resilience layer: clock, faults, retry, chain."""
+
+import numpy as np
+import pytest
+
+from repro.data import uniform_rects
+from repro.errors import (
+    ArtifactCorruptError,
+    DeadlineError,
+    FallbackExhaustedError,
+    InjectedFault,
+    TransientIOError,
+)
+from repro.geometry import Rect
+from repro.obs import OBS
+from repro.resilience import (
+    CircuitBreaker,
+    Deadline,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    StepClock,
+    active_injector,
+    build_fallback_chain,
+    fire,
+    installed,
+    sites_from_rates,
+    with_retry,
+)
+
+
+# ----------------------------------------------------------------------
+# logical clock and deadlines
+# ----------------------------------------------------------------------
+class TestStepClock:
+    def test_advance_and_now(self):
+        clock = StepClock()
+        assert clock.now() == 0
+        assert clock.advance(3) == 3
+        assert clock.advance() == 4
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            StepClock().advance(-1)
+
+    def test_deadline_expires_and_raises(self):
+        clock = StepClock()
+        deadline = Deadline(clock, 2)
+        deadline.check()
+        clock.advance(2)
+        assert deadline.expired()
+        with pytest.raises(DeadlineError):
+            deadline.check("unit test")
+
+    def test_unlimited_deadline_never_expires(self):
+        clock = StepClock()
+        deadline = Deadline(clock, None)
+        clock.advance(10_000)
+        assert not deadline.expired()
+        assert deadline.remaining() is None
+        deadline.check()
+
+
+# ----------------------------------------------------------------------
+# fault injection
+# ----------------------------------------------------------------------
+def _injection_trace(plan, sites):
+    """Booleans: did firing each site in sequence inject a fault?"""
+    injector = FaultInjector(plan)
+    trace = []
+    for site in sites:
+        try:
+            injector.fire(site)
+            trace.append(False)
+        except Exception:
+            trace.append(True)
+    return trace, injector
+
+
+class TestFaultInjector:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec("x", kind="nope")
+        with pytest.raises(ValueError):
+            FaultSpec("x", probability=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec("x", start_step=-1)
+
+    def test_kinds_raise_typed_errors(self):
+        for kind, exc in (
+            ("io", TransientIOError),
+            ("corrupt", ArtifactCorruptError),
+            ("fail", InjectedFault),
+        ):
+            injector = FaultInjector(
+                FaultPlan(0, (FaultSpec("s", kind=kind),))
+            )
+            with pytest.raises(exc):
+                injector.fire("s")
+
+    def test_slow_fault_advances_clock_without_raising(self):
+        clock = StepClock()
+        injector = FaultInjector(
+            FaultPlan(0, (FaultSpec("s", kind="slow", slow_steps=7),)),
+            clock=clock,
+        )
+        injector.fire("s")
+        assert clock.now() == 7
+
+    def test_same_seed_same_injections(self):
+        plan = FaultPlan(123, (FaultSpec("a", probability=0.3),
+                               FaultSpec("b", probability=0.6)))
+        sites = ["a", "b", "a", "a", "b"] * 40
+        trace1, inj1 = _injection_trace(plan, sites)
+        trace2, inj2 = _injection_trace(plan, sites)
+        assert trace1 == trace2
+        assert inj1.stats() == inj2.stats()
+        assert True in trace1 and False in trace1
+
+    def test_spec_streams_independent_of_other_sites(self):
+        # Removing site-b invocations must not change site-a decisions.
+        spec_a = FaultSpec("a", probability=0.5)
+        with_b = FaultPlan(9, (spec_a, FaultSpec("b", probability=0.5)))
+        without_b = FaultPlan(9, (spec_a,))
+        mixed = ["a", "b"] * 50
+        only_a = [s for s in mixed if s == "a"]
+        trace_mixed, _ = _injection_trace(with_b, mixed)
+        trace_only, _ = _injection_trace(without_b, only_a)
+        assert [t for s, t in zip(mixed, trace_mixed) if s == "a"] \
+            == trace_only
+
+    def test_prefix_matching(self):
+        spec = FaultSpec("estimator.*")
+        assert spec.matches("estimator.Min-Skew")
+        assert spec.matches("estimator.build.Sample")
+        assert not spec.matches("storage.read")
+
+    def test_step_schedule_window(self):
+        plan = FaultPlan(
+            0, (FaultSpec("s", start_step=2, stop_step=4),)
+        )
+        trace, _ = _injection_trace(plan, ["s"] * 6)
+        assert trace == [False, False, True, True, False, False]
+
+    def test_transient_then_recover(self):
+        plan = FaultPlan(0, (FaultSpec("s", recover_after=2),))
+        trace, injector = _injection_trace(plan, ["s"] * 5)
+        assert trace == [True, True, False, False, False]
+        assert injector.stats()["injected"] == {"s": 2}
+        assert injector.stats()["fired"] == {"s": 5}
+
+    def test_installed_restores_previous(self):
+        assert active_injector() is None
+        fire("anything")  # no-op without an injector
+        outer = FaultInjector(FaultPlan(0))
+        inner = FaultInjector(FaultPlan(1))
+        with installed(outer):
+            assert active_injector() is outer
+            with installed(inner):
+                assert active_injector() is inner
+            assert active_injector() is outer
+        assert active_injector() is None
+
+    def test_sites_from_rates(self):
+        specs = sites_from_rates({"b": 0.5, "a": 0.1}, kind="fail")
+        assert [s.site for s in specs] == ["a", "b"]
+        assert all(s.kind == "fail" for s in specs)
+
+
+# ----------------------------------------------------------------------
+# retry
+# ----------------------------------------------------------------------
+class TestRetry:
+    def test_retries_retryable_until_success(self):
+        clock = StepClock()
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransientIOError("flap")
+            return "ok"
+
+        assert with_retry(flaky, RetryPolicy(max_attempts=3), clock) \
+            == "ok"
+        assert len(calls) == 3
+        # backoff 1 after attempt 1, 2 after attempt 2
+        assert clock.now() == 3
+
+    def test_gives_up_after_max_attempts(self):
+        def always():
+            raise TransientIOError("flap")
+
+        with pytest.raises(TransientIOError):
+            with_retry(always, RetryPolicy(max_attempts=2), StepClock())
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = []
+
+        def poisoned():
+            calls.append(1)
+            raise ArtifactCorruptError("bad checksum")
+
+        with pytest.raises(ArtifactCorruptError):
+            with_retry(poisoned, RetryPolicy(max_attempts=5),
+                       StepClock())
+        assert len(calls) == 1
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_cools_down(self):
+        clock = StepClock()
+        breaker = CircuitBreaker(clock, failure_threshold=2,
+                                 reset_after_steps=5)
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        clock.advance(5)
+        assert breaker.state == "half-open"
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        clock = StepClock()
+        breaker = CircuitBreaker(clock, failure_threshold=1,
+                                 reset_after_steps=4)
+        breaker.record_failure()
+        clock.advance(4)
+        assert breaker.state == "half-open"
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+
+# ----------------------------------------------------------------------
+# the guarded fallback chain
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def chain_data():
+    return uniform_rects(300, seed=5)
+
+
+def _fresh_chain(chain_data, **kwargs):
+    return build_fallback_chain(chain_data, 10, n_regions=256, **kwargs)
+
+
+class TestGuardedEstimator:
+    def test_no_faults_serves_primary(self, chain_data):
+        chain = _fresh_chain(chain_data)
+        with OBS.scope():
+            OBS.reset()
+            value = chain.estimate(Rect(0.0, 0.0, 500.0, 500.0))
+            counters = OBS.snapshot()["counters"]
+            OBS.reset()
+        assert np.isfinite(value) and value >= 0.0
+        assert counters.get("resilience.served.Min-Skew") == 1
+        assert "resilience.degraded" not in counters
+
+    def test_poisoned_primary_degrades_to_sample(self, chain_data):
+        chain = _fresh_chain(chain_data)
+        plan = FaultPlan(
+            0, (FaultSpec("estimator.build.Min-Skew", kind="corrupt"),)
+        )
+        query = Rect(0.0, 0.0, 500.0, 500.0)
+        with OBS.scope():
+            OBS.reset()
+            with installed(FaultInjector(plan, clock=chain.clock)):
+                value = chain.estimate(query)
+            counters = OBS.snapshot()["counters"]
+            OBS.reset()
+        assert np.isfinite(value)
+        assert counters.get("resilience.served.Sample") == 1
+        assert counters.get("resilience.degraded") == 1
+        assert counters.get("resilience.link_failures.Min-Skew") == 1
+
+    def test_transient_fault_is_retried_not_degraded(self, chain_data):
+        chain = _fresh_chain(chain_data)
+        plan = FaultPlan(
+            0,
+            (FaultSpec("estimator.Min-Skew", kind="io",
+                       recover_after=1),),
+        )
+        with OBS.scope():
+            OBS.reset()
+            with installed(FaultInjector(plan, clock=chain.clock)):
+                chain.estimate(Rect(0.0, 0.0, 500.0, 500.0))
+            counters = OBS.snapshot()["counters"]
+            OBS.reset()
+        assert counters.get("resilience.retries") == 1
+        assert counters.get("resilience.served.Min-Skew") == 1
+        assert "resilience.degraded" not in counters
+
+    def test_all_links_failing_returns_last_resort(self, chain_data):
+        chain = _fresh_chain(chain_data)
+        plan = FaultPlan(0, (FaultSpec("estimator.build.*",
+                                       kind="corrupt"),))
+        with OBS.scope():
+            OBS.reset()
+            with installed(FaultInjector(plan, clock=chain.clock)):
+                value = chain.estimate(Rect(0.0, 0.0, 1.0, 1.0))
+            counters = OBS.snapshot()["counters"]
+            OBS.reset()
+        assert value == 0.0
+        assert counters.get("resilience.last_resort") == 1
+
+    def test_exhausted_chain_raises_without_last_resort(
+        self, chain_data
+    ):
+        chain = _fresh_chain(chain_data)
+        chain.last_resort = None
+        plan = FaultPlan(0, (FaultSpec("estimator.build.*",
+                                       kind="corrupt"),))
+        with installed(FaultInjector(plan, clock=chain.clock)):
+            with pytest.raises(FallbackExhaustedError):
+                chain.estimate(Rect(0.0, 0.0, 1.0, 1.0))
+
+    def test_breaker_stops_hammering_poisoned_link(self, chain_data):
+        chain = _fresh_chain(chain_data, failure_threshold=2,
+                             reset_after_steps=10_000)
+        plan = FaultPlan(0, (FaultSpec("estimator.build.Min-Skew",
+                                       kind="corrupt"),))
+        injector = FaultInjector(plan, clock=chain.clock)
+        with OBS.scope():
+            OBS.reset()
+            with installed(injector):
+                for _ in range(6):
+                    chain.estimate(Rect(0.0, 0.0, 500.0, 500.0))
+            counters = OBS.snapshot()["counters"]
+            OBS.reset()
+        assert counters.get("resilience.link_failures.Min-Skew") == 2
+        assert counters.get("resilience.skipped.Min-Skew") == 4
+        assert counters.get("resilience.served.Sample") == 6
+
+    def test_slow_faults_trip_the_deadline(self, chain_data):
+        # A slow fault stalls the failing primary long enough that the
+        # per-call budget is gone before the next link is tried: the
+        # call short-circuits to the last resort instead of blowing
+        # the budget further.
+        chain = _fresh_chain(chain_data, call_budget_steps=3)
+        plan = FaultPlan(0, (
+            FaultSpec("estimator.*", kind="slow", slow_steps=50),
+            FaultSpec("estimator.build.Min-Skew", kind="corrupt"),
+        ))
+        with OBS.scope():
+            OBS.reset()
+            with installed(FaultInjector(plan, clock=chain.clock)):
+                value = chain.estimate(Rect(0.0, 0.0, 1.0, 1.0))
+            counters = OBS.snapshot()["counters"]
+            OBS.reset()
+        assert np.isfinite(value)
+        assert counters.get("resilience.deadline_exceeded", 0) >= 1
+        assert counters.get("resilience.last_resort", 0) >= 1
+
+    def test_estimate_many_degrades_whole_batch(self, chain_data):
+        chain = _fresh_chain(chain_data)
+        plan = FaultPlan(
+            0, (FaultSpec("estimator.build.Min-Skew", kind="corrupt"),)
+        )
+        queries = uniform_rects(20, seed=8)
+        with installed(FaultInjector(plan, clock=chain.clock)):
+            values = chain.estimate_many(queries)
+        assert values.shape == (20,)
+        assert np.isfinite(values).all()
+
+    def test_invalid_query_is_callers_bug(self):
+        # Degenerate inputs never reach the chain: the Rect constructor
+        # (the single validation helper) rejects them first.
+        with pytest.raises(ValueError):
+            Rect(float("nan"), 0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            Rect(1.0, 0.0, 0.0, 1.0)

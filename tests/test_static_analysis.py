@@ -586,6 +586,8 @@ def test_mypy_strict_gate():
             "-p", "repro.geometry",
             "-p", "repro.obs",
             "-p", "repro.analysis",
+            "-m", "repro.errors",
+            "-p", "repro.resilience",
         ],
         cwd=REPO_ROOT,
         env={**__import__("os").environ,

@@ -1,0 +1,299 @@
+"""Crash-safe persistence: atomic writes, checksummed artifacts,
+checkpoint stores, and the guarded dataset loader."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import load_rects, save_csv, save_npy, uniform_rects
+from repro.errors import (
+    ArtifactCorruptError,
+    ArtifactMissingError,
+    CheckpointError,
+)
+from repro.eval import ExperimentRunner
+from repro.geometry import RectSet
+from repro.partitioners import FixedGridPartitioner
+from repro.storage import (
+    CheckpointStore,
+    atomic_write_text,
+    config_fingerprint,
+    load_buckets,
+    load_rectset,
+    read_artifact,
+    save_buckets,
+    save_rectset,
+    write_artifact,
+)
+from repro.workload import range_queries
+
+
+# ----------------------------------------------------------------------
+# atomic writes and checksummed envelopes
+# ----------------------------------------------------------------------
+class TestAtomicArtifacts:
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "hello")
+        assert target.read_text() == "hello"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_atomic_write_replaces_existing(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_artifact_roundtrip(self, tmp_path):
+        path = tmp_path / "a.json"
+        payload = {"x": [1, 2, 3], "y": "z"}
+        write_artifact(path, payload, kind="unit")
+        assert read_artifact(path, kind="unit") == payload
+
+    def test_missing_artifact(self, tmp_path):
+        with pytest.raises(ArtifactMissingError):
+            read_artifact(tmp_path / "nope.json", kind="unit")
+
+    def test_kind_mismatch_is_corrupt(self, tmp_path):
+        path = tmp_path / "a.json"
+        write_artifact(path, {}, kind="buckets")
+        with pytest.raises(ArtifactCorruptError):
+            read_artifact(path, kind="rectset")
+
+    def test_tampered_payload_fails_checksum(self, tmp_path):
+        path = tmp_path / "a.json"
+        write_artifact(path, {"count": 5}, kind="unit")
+        doc = json.loads(path.read_text())
+        doc["payload"]["count"] = 6
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ArtifactCorruptError):
+            read_artifact(path, kind="unit")
+
+    def test_truncated_file_is_corrupt(self, tmp_path):
+        path = tmp_path / "a.json"
+        write_artifact(path, {"x": list(range(100))}, kind="unit")
+        path.write_text(path.read_text()[:40])  # simulate a torn write
+        with pytest.raises(ArtifactCorruptError):
+            read_artifact(path, kind="unit")
+
+    def test_non_envelope_json_is_corrupt(self, tmp_path):
+        path = tmp_path / "a.json"
+        path.write_text('{"just": "json"}')
+        with pytest.raises(ArtifactCorruptError):
+            read_artifact(path, kind="unit")
+
+
+# ----------------------------------------------------------------------
+# domain artifacts: histograms and rect sets
+# ----------------------------------------------------------------------
+class TestDomainArtifacts:
+    def test_bucket_histogram_roundtrip(self, tmp_path):
+        data = uniform_rects(400, seed=3)
+        buckets = FixedGridPartitioner(9).partition(data)
+        path = tmp_path / "hist.json"
+        save_buckets(path, buckets)
+        loaded = load_buckets(path)
+        assert len(loaded) == len(buckets)
+        for a, b in zip(buckets, loaded):
+            assert a.bbox == b.bbox
+            assert a.count == b.count
+            query = a.bbox
+            assert a.estimate(query) == pytest.approx(b.estimate(query))
+
+    def test_rectset_roundtrip(self, tmp_path):
+        data = uniform_rects(50, seed=4)
+        path = tmp_path / "rects.json"
+        save_rectset(path, data)
+        loaded = load_rectset(path)
+        np.testing.assert_array_equal(loaded.coords, data.coords)
+
+    def test_empty_rectset_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_rectset(path, RectSet.empty())
+        assert len(load_rectset(path)) == 0
+
+
+# ----------------------------------------------------------------------
+# the guarded dataset loader
+# ----------------------------------------------------------------------
+class TestLoadRects:
+    def test_npy_and_csv_roundtrip(self, tmp_path):
+        data = uniform_rects(60, seed=6)
+        npy, csv_path = tmp_path / "d.npy", tmp_path / "d.csv"
+        save_npy(data, npy)
+        save_csv(data, csv_path)
+        np.testing.assert_array_equal(load_rects(npy).coords,
+                                      data.coords)
+        np.testing.assert_allclose(load_rects(csv_path).coords,
+                                   data.coords)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArtifactMissingError):
+            load_rects(tmp_path / "ghost.npy")
+
+    def test_unsupported_suffix(self, tmp_path):
+        path = tmp_path / "d.parquet"
+        path.write_text("")
+        with pytest.raises(ArtifactMissingError):
+            load_rects(path)
+
+    def test_corrupt_csv(self, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text("x1,y1,x2,y2\n1,2,not-a-number,4\n")
+        with pytest.raises(ArtifactCorruptError):
+            load_rects(path)
+
+    def test_invalid_rectangles_are_corrupt(self, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text("5,5,1,1\n")  # inverted extent
+        with pytest.raises(ArtifactCorruptError):
+            load_rects(path)
+
+
+# ----------------------------------------------------------------------
+# checkpoint store
+# ----------------------------------------------------------------------
+class TestCheckpointStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path, "fp1")
+        assert store.load("cell") is None
+        store.save("cell", {"value": 3})
+        assert store.load("cell") == {"value": 3}
+        assert store.keys() == ["cell"]
+
+    def test_corrupt_cell_counts_as_missing(self, tmp_path):
+        store = CheckpointStore(tmp_path, "fp1")
+        store.save("cell", {"value": 3})
+        (cell_file,) = tmp_path.glob("cell-*.json")
+        cell_file.write_text(cell_file.read_text()[:25])
+        assert store.load("cell") is None
+        assert store.keys() == []
+
+    def test_fingerprint_mismatch_raises(self, tmp_path):
+        CheckpointStore(tmp_path, "fp1").save("cell", 1)
+        with pytest.raises(CheckpointError):
+            CheckpointStore(tmp_path, "fp2")
+
+    def test_corrupt_meta_clears_the_store(self, tmp_path):
+        store = CheckpointStore(tmp_path, "fp1")
+        store.save("cell", 1)
+        (tmp_path / "meta.json").write_text("garbage")
+        reopened = CheckpointStore(tmp_path, "fp1")
+        assert reopened.load("cell") is None
+
+    def test_keys_survive_reopen(self, tmp_path):
+        store = CheckpointStore(tmp_path, "fp1")
+        store.save("a/b c", 1)
+        store.save("d", 2)
+        reopened = CheckpointStore(tmp_path, "fp1")
+        assert sorted(reopened.keys()) == ["a/b c", "d"]
+        assert reopened.load("a/b c") == 1
+
+    def test_config_fingerprint_stable_and_sensitive(self):
+        a = config_fingerprint({"x": 1, "y": [2, 3]})
+        b = config_fingerprint({"y": [2, 3], "x": 1})
+        c = config_fingerprint({"x": 2, "y": [2, 3]})
+        assert a == b
+        assert a != c
+
+
+# ----------------------------------------------------------------------
+# checkpointed evaluation sweep
+# ----------------------------------------------------------------------
+class TestEvaluateSweepResume:
+    def test_resume_serves_from_cache(self, tmp_path, monkeypatch):
+        data = uniform_rects(300, seed=9)
+        queries = range_queries(data, 0.1, 30, seed=1)
+        runner = ExperimentRunner(data)
+        techniques = ("Grid", "Uniform")
+        first = runner.evaluate_sweep(
+            techniques, queries, 9, checkpoint_dir=tmp_path
+        )
+
+        def boom(*args, **kwargs):
+            raise AssertionError("cache miss: technique re-evaluated")
+
+        monkeypatch.setattr(ExperimentRunner, "evaluate_technique",
+                            boom)
+        second = runner.evaluate_sweep(
+            techniques, queries, 9, checkpoint_dir=tmp_path
+        )
+        assert first == second
+
+    def test_different_sweep_config_is_rejected(self, tmp_path):
+        data = uniform_rects(200, seed=9)
+        queries = range_queries(data, 0.1, 10, seed=1)
+        runner = ExperimentRunner(data)
+        runner.evaluate_sweep(("Uniform",), queries, 9,
+                              checkpoint_dir=tmp_path)
+        with pytest.raises(CheckpointError):
+            runner.evaluate_sweep(("Uniform",), queries, 12,
+                                  checkpoint_dir=tmp_path)
+
+
+# ----------------------------------------------------------------------
+# CLI error contract: exit 1 + one actionable line, never a traceback
+# ----------------------------------------------------------------------
+def _one_error_line(capsys):
+    err = capsys.readouterr().err
+    lines = err.strip().splitlines()
+    assert len(lines) == 1, err
+    assert lines[0].startswith("repro-spatial: error:")
+    assert "Traceback" not in err
+    return lines[0]
+
+
+class TestCliErrorMessages:
+    def test_missing_dataset_file(self, capsys, tmp_path):
+        from repro.cli import main
+
+        code = main(["show", "--dataset-file",
+                     str(tmp_path / "ghost.npy")])
+        assert code == 1
+        line = _one_error_line(capsys)
+        assert "not found" in line and "hint:" in line
+
+    def test_corrupt_dataset_file(self, capsys, tmp_path):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.csv"
+        bad.write_text("1,2,three,4\n")
+        code = main(["evaluate", "--dataset-file", str(bad),
+                     "--queries", "5"])
+        assert code == 1
+        assert "corrupt dataset file" in _one_error_line(capsys)
+
+    def test_missing_histogram_file(self, capsys, tmp_path):
+        from repro.cli import main
+
+        code = main(["evaluate", "--histogram",
+                     str(tmp_path / "ghost.json"),
+                     "--n", "100", "--queries", "5"])
+        assert code == 1
+        assert "hint:" in _one_error_line(capsys)
+
+    def test_corrupt_histogram_file(self, capsys, tmp_path):
+        from repro.cli import main
+
+        bad = tmp_path / "hist.json"
+        bad.write_text('{"not": "an artifact"}')
+        code = main(["evaluate", "--histogram", str(bad),
+                     "--n", "100", "--queries", "5"])
+        assert code == 1
+        assert "corrupt" in _one_error_line(capsys)
+
+    def test_save_histogram_roundtrips_through_cli(
+        self, capsys, tmp_path
+    ):
+        from repro.cli import main
+
+        hist = tmp_path / "hist.json"
+        assert main(["partition", "--n", "500", "--buckets", "8",
+                     "--regions", "256", "--save-histogram",
+                     str(hist)]) == 0
+        capsys.readouterr()
+        assert main(["evaluate", "--n", "500", "--queries", "20",
+                     "--histogram", str(hist)]) == 0
+        out = capsys.readouterr().out
+        assert "histogram" in out and "8 buckets" in out
