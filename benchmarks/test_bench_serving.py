@@ -1,0 +1,111 @@
+"""Smoke test for the batch-serving benchmark path.
+
+Runs a tiny ``engine="batch"`` benchmark end to end and checks the
+promises CI gates on: the artifact is schema-valid, every technique's
+vectorised kernel is at least as fast as the scalar loop
+(``speedup >= 1.0``), and the batch/engine answers match the scalar
+loop bit for bit (``scalar_matches``).  Also validates the committed
+``BENCH_serving.json`` baseline when present.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.eval import ALL_TECHNIQUES
+from repro.obs.bench import BenchConfig, write_bench
+from repro.obs.schema import validate_bench
+
+SERVING_SMOKE = BenchConfig(
+    name="serving_smoke",
+    datasets=(("charminar", 1_500),),
+    n_buckets=16,
+    n_regions=256,
+    n_queries=300,
+    engine="batch",
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def serving_run(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("bench_serving")
+    doc, path = write_bench(SERVING_SMOKE, out_dir)
+    return doc, path
+
+
+def test_artifact_schema_valid(serving_run):
+    doc, path = serving_run
+    assert path.name == "BENCH_serving_smoke.json"
+    on_disk = json.loads(path.read_text())
+    validate_bench(on_disk)
+    assert on_disk["config"]["engine"] == "batch"
+
+
+def test_every_technique_has_serving_fields(serving_run):
+    doc, _ = serving_run
+    (dataset,) = doc["datasets"]
+    assert [t["technique"] for t in dataset["techniques"]] \
+        == list(ALL_TECHNIQUES)
+    for entry in dataset["techniques"]:
+        assert entry["scalar_seconds"] > 0
+        assert entry["engine_seconds"] > 0
+        assert entry["speedup"] > 0
+
+
+def test_batch_kernel_not_slower_than_scalar(serving_run):
+    # the CI perf gate: on 300 queries the vectorised kernel must
+    # already beat the per-query Python loop for every technique
+    doc, _ = serving_run
+    for entry in doc["datasets"][0]["techniques"]:
+        assert entry["speedup"] >= 1.0, (
+            f"{entry['technique']}: batch kernel slower than the "
+            f"scalar loop (speedup={entry['speedup']:.2f})"
+        )
+
+
+def test_batch_answers_match_scalar_exactly(serving_run):
+    doc, _ = serving_run
+    for entry in doc["datasets"][0]["techniques"]:
+        assert entry["scalar_matches"] is True, (
+            f"{entry['technique']}: batch or engine output diverged "
+            f"from the scalar loop"
+        )
+
+
+def test_committed_baseline_is_valid_when_present():
+    baseline = REPO_ROOT / "BENCH_serving.json"
+    if not baseline.exists():
+        pytest.skip("no committed serving baseline")
+    doc = json.loads(baseline.read_text())
+    validate_bench(doc)
+    assert doc["config"]["engine"] == "batch"
+    for dataset in doc["datasets"]:
+        for entry in dataset["techniques"]:
+            assert entry["speedup"] >= 1.0
+            assert entry["scalar_matches"] is True
+
+
+def test_cli_serving_preset(tmp_path, capsys):
+    rc = cli_main(
+        [
+            "bench",
+            "--quick",
+            "--engine", "batch",
+            "--name", "cli_serving",
+            "--out", str(tmp_path),
+            "--datasets", "charminar:800",
+            "--buckets", "12",
+            "--regions", "144",
+            "--queries", "100",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "speedup=" in out
+    doc = json.loads((tmp_path / "BENCH_cli_serving.json").read_text())
+    validate_bench(doc)
+    assert doc["config"]["engine"] == "batch"

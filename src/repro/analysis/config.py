@@ -92,7 +92,8 @@ class LintConfig:
         "bench", "build", "counting", "data", "equi_area", "equi_count",
         "estimate", "estimator", "eval", "grid", "lint", "maintenance",
         "minskew", "obs", "oracle", "partition", "progressive",
-        "resilience", "rtree", "storage", "tuning", "workload",
+        "resilience", "rtree", "serving", "storage", "tuning",
+        "workload",
     })
     exclude_dir_names: Tuple[str, ...] = (
         "__pycache__", ".git", ".venv", "build", "dist",

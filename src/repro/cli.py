@@ -220,9 +220,15 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .obs.bench import FULL_CONFIG, QUICK_CONFIG, write_bench
+    from .obs.bench import FULL_CONFIG, QUICK_CONFIG, SERVING_CONFIG, \
+        write_bench
 
-    config = FULL_CONFIG if args.full else QUICK_CONFIG
+    if args.full:
+        config = FULL_CONFIG
+    elif args.serving:
+        config = SERVING_CONFIG
+    else:
+        config = QUICK_CONFIG
     changes = {}
     if args.name:
         changes["name"] = args.name
@@ -232,6 +238,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         changes["n_regions"] = args.regions
     if args.queries is not None:
         changes["n_queries"] = args.queries
+    if args.engine is not None:
+        changes["engine"] = args.engine
+    if args.workers is not None:
+        if args.workers < 1:
+            raise SystemExit("--workers must be >= 1")
+        changes["workers"] = args.workers
     if args.datasets:
         pairs = []
         for spec in args.datasets.split(","):
@@ -273,12 +285,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"truth={ds['truth_seconds']:.2f}s")
         for tech in ds["techniques"]:
             acc = tech["accuracy"]
-            print(
+            line = (
                 f"{tech['technique']:11s} "
                 f"build={tech['build_seconds']:7.2f}s "
                 f"estimate={tech['estimate_seconds']:6.3f}s "
                 f"ARE={acc['average_relative_error']:7.3f}"
             )
+            if "speedup" in tech:
+                line += (
+                    f" scalar={tech['scalar_seconds']:6.3f}s "
+                    f"speedup={tech['speedup']:6.1f}x"
+                )
+                if not tech.get("scalar_matches", True):
+                    line += " MISMATCH"
+            print(line)
     print(f"wrote {path}")
     return 0
 
@@ -452,8 +472,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true",
         help="paper-scale workload (expect several minutes)",
     )
+    mode.add_argument(
+        "--serving", action="store_true",
+        help="serving-engine workload: 10k queries through the batch "
+             "engine, scalar loop timed alongside for the speedup",
+    )
     p.add_argument("--name", default=None,
                    help="artifact name (BENCH_<name>.json)")
+    p.add_argument(
+        "--engine", default=None, choices=("scalar", "batch"),
+        help="estimation path: plain per-technique batch call, or the "
+             "serving engine with cache+index and a measured speedup "
+             "vs the scalar loop",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for the per-technique bench cells "
+             "(default: 1, in-process)",
+    )
     p.add_argument("--out", default=".",
                    help="output directory (default: current directory)")
     p.add_argument("--buckets", type=int, default=None)

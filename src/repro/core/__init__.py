@@ -4,9 +4,11 @@ progressive refinement."""
 
 from .bucket import (
     Bucket,
+    BucketArrays,
     assign_by_center,
     buckets_from_assignment,
     estimate_many,
+    estimate_many_arrays,
 )
 from .maintenance import MaintainedHistogram
 from .minskew import MinSkewPartitioner, MinSkewResult, SplitRecord
@@ -33,6 +35,8 @@ __all__ = [
     "TuningResult",
     "TuningCandidate",
     "estimate_many",
+    "estimate_many_arrays",
+    "BucketArrays",
     "assign_by_center",
     "buckets_from_assignment",
     "MinSkewPartitioner",

@@ -4,6 +4,24 @@ Every technique in the paper's evaluation — Uniform, Sample, the fractal
 method, and all four bucket-based partitionings — is exposed through this
 one interface, so the experiment runner can sweep them uniformly.
 
+Two query entry points exist:
+
+* :meth:`SelectivityEstimator.estimate` answers one :class:`Rect`;
+* :meth:`SelectivityEstimator.estimate_batch` answers a whole
+  :class:`RectSet` through the technique's vectorised kernel.
+
+Both validate their input through :mod:`repro.geometry.validate` — a
+scalar query cannot even be constructed invalid (the :class:`Rect`
+constructor checks), and the batch path re-checks the coordinate block
+so a ``RectSet`` built with ``validate=False`` cannot smuggle NaN or
+inverted rectangles into a kernel.  Subclasses implement the protected
+:meth:`SelectivityEstimator._estimate_batch` hook; the public wrapper
+owns validation and observability, so the ``estimate.<name>`` timer
+fires exactly once per batch no matter the technique.
+
+``estimate_many`` is the historical name of the batch path and is kept
+as an alias.
+
 An estimator reports its summary size in *words*
 (:meth:`SelectivityEstimator.size_words`), the unit of the paper's
 Section 5.4 space accounting; :mod:`repro.eval.space` converts between
@@ -15,8 +33,9 @@ from __future__ import annotations
 import abc
 
 import numpy as np
+import numpy.typing as npt
 
-from ..geometry import Rect, RectSet
+from ..geometry import Rect, RectSet, validate_coords_array
 from ..obs import OBS
 
 
@@ -32,16 +51,38 @@ class SelectivityEstimator(abc.ABC):
         ``query``.  Never negative; point queries are degenerate
         rectangles."""
 
-    def estimate_many(self, queries: RectSet) -> np.ndarray:
-        """Vectorised :meth:`estimate`; subclasses override when they
-        can batch the computation."""
+    def estimate_batch(
+        self, queries: RectSet
+    ) -> npt.NDArray[np.float64]:
+        """Vectorised :meth:`estimate` over a whole workload.
+
+        Validates the query block (NaN/inf and inverted rectangles
+        raise :class:`~repro.errors.GeometryError` before any kernel
+        runs), then dispatches to the technique's batch kernel.  The
+        result is elementwise bit-identical to the scalar loop
+        ``[self.estimate(q) for q in queries]``, which the serving
+        differential suite asserts.
+        """
+        validate_coords_array(queries.coords, what="query")
         if OBS.enabled:
             OBS.add("estimator.batch_queries", len(queries))
             OBS.observe("estimator.batch_size", len(queries))
         with OBS.timer(f"estimate.{self.name}"):
-            return np.array(
-                [self.estimate(q) for q in queries], dtype=np.float64
-            )
+            return self._estimate_batch(queries)
+
+    def _estimate_batch(
+        self, queries: RectSet
+    ) -> npt.NDArray[np.float64]:
+        """Batch kernel; subclasses override with a vectorised path."""
+        return np.array(
+            [self.estimate(q) for q in queries], dtype=np.float64
+        )
+
+    def estimate_many(
+        self, queries: RectSet
+    ) -> npt.NDArray[np.float64]:
+        """Alias of :meth:`estimate_batch` (the original batch name)."""
+        return self.estimate_batch(queries)
 
     @abc.abstractmethod
     def size_words(self) -> int:

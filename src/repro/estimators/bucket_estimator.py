@@ -4,15 +4,31 @@ This is the "technique for using the resulting set of buckets to estimate
 the result sizes" of paper Section 3.2: selectivity estimation reduces to
 the individual buckets, each answered with the Section 3.1 uniformity
 formulas, and the per-bucket contributions are summed.
+
+Both query paths run the same vectorised kernel over columnar bucket
+state (:class:`repro.core.bucket.BucketArrays`, precomputed once at
+construction): the batch path evaluates a ``(Q, B)`` broadcast block,
+and the scalar path evaluates the identical block with ``Q = 1``, so
+scalar and batch answers are bit-identical by construction.
+
+A bucket *index* (any object with a ``candidates(query)`` method
+returning bucket positions, e.g. :class:`repro.serving.BucketIndex`)
+can be attached to accelerate scalar probing from O(buckets) to near
+O(answer); the candidate set is a superset of every contributing
+bucket, so pruning never changes which buckets matter — only the
+floating-point summation order over them, which is why the serving
+differential suite runs with the index detached and the index property
+suite compares against the linear scan with a tolerance.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Protocol, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
-from ..core.bucket import Bucket, estimate_many
+from ..core.bucket import Bucket, BucketArrays, estimate_many_arrays
 from ..geometry import Rect, RectSet, require_nonempty
 from ..obs import OBS
 from ..partitioners.base import Partitioner
@@ -24,6 +40,15 @@ from .base import SelectivityEstimator
 WORDS_PER_BUCKET = 8
 
 
+class BucketProbe(Protocol):
+    """Anything that can name the buckets a query might touch."""
+
+    def candidates(self, query: Rect) -> "npt.NDArray[np.int64]":
+        """Positions of every bucket possibly contributing to
+        ``query`` (a superset of the truly contributing set)."""
+        ...
+
+
 class BucketEstimator(SelectivityEstimator):
     """Sums the uniformity-assumption estimate over a bucket list."""
 
@@ -33,6 +58,8 @@ class BucketEstimator(SelectivityEstimator):
         require_nonempty(len(buckets), what="bucket list")
         self.buckets: List[Bucket] = list(buckets)
         self.name = name
+        self._arrays = BucketArrays(self.buckets)
+        self._index: Optional[BucketProbe] = None
 
     @classmethod
     def build(
@@ -47,17 +74,45 @@ class BucketEstimator(SelectivityEstimator):
             buckets = partitioner.partition(rects, bounds=bounds)
         return cls(buckets, name=partitioner.name)
 
-    def estimate(self, query: Rect) -> float:
-        return float(sum(b.estimate(query) for b in self.buckets))
+    # ------------------------------------------------------------------
+    # index hook
+    # ------------------------------------------------------------------
+    def attach_index(self, index: Optional[BucketProbe]) -> None:
+        """Install (or with ``None`` remove) a bucket probe that the
+        scalar path uses to prune the bucket scan."""
+        self._index = index
 
-    def estimate_many(self, queries: RectSet) -> np.ndarray:
+    @property
+    def index(self) -> Optional[BucketProbe]:
+        return self._index
+
+    # ------------------------------------------------------------------
+    # query paths
+    # ------------------------------------------------------------------
+    def estimate(self, query: Rect) -> float:
+        qrow = np.array(
+            [[query.x1, query.y1, query.x2, query.y2]],
+            dtype=np.float64,
+        )
+        arrays = self._arrays
+        if self._index is not None:
+            chosen = self._index.candidates(query)
+            if OBS.enabled:
+                OBS.add("serving.index.probes")
+                OBS.add("serving.index.candidates", len(chosen))
+            if len(chosen) == 0:
+                return 0.0
+            if len(chosen) < arrays.n:
+                arrays = arrays.select(chosen)
+        return float(arrays.estimate_block(qrow)[0])
+
+    def _estimate_batch(
+        self, queries: RectSet
+    ) -> npt.NDArray[np.float64]:
         if OBS.enabled:
-            OBS.add("estimator.batch_queries", len(queries))
             OBS.add("estimator.buckets_inspected",
                     len(self.buckets) * len(queries))
-            OBS.observe("estimator.batch_size", len(queries))
-        with OBS.timer(f"estimate.{self.name}"):
-            return estimate_many(self.buckets, queries)
+        return estimate_many_arrays(self._arrays, queries)
 
     def size_words(self) -> int:
         return WORDS_PER_BUCKET * len(self.buckets)

@@ -14,7 +14,6 @@ import numpy as np
 
 from ..counting import ExactCountOracle
 from ..geometry import Rect, RectSet
-from ..obs import OBS
 from .base import SelectivityEstimator
 from .sampling import WORDS_PER_SAMPLE
 
@@ -31,12 +30,8 @@ class ExactEstimator(SelectivityEstimator):
     def estimate(self, query: Rect) -> float:
         return float(self._rects.count_intersecting(query))
 
-    def estimate_many(self, queries: RectSet) -> np.ndarray:
-        if OBS.enabled:
-            OBS.add("estimator.batch_queries", len(queries))
-            OBS.observe("estimator.batch_size", len(queries))
-        with OBS.timer(f"estimate.{self.name}"):
-            return self._oracle.counts(queries).astype(np.float64)
+    def _estimate_batch(self, queries: RectSet) -> np.ndarray:
+        return self._oracle.counts(queries).astype(np.float64)
 
     def size_words(self) -> int:
         return WORDS_PER_SAMPLE * len(self._rects)

@@ -30,7 +30,6 @@ import numpy as np
 
 from ..geometry import Rect, RectSet, require_nonempty
 from ..grid import DensityGrid
-from ..obs import OBS
 from .base import SelectivityEstimator
 
 #: Words of summary state: the input MBR (4), N (1), D₂ (1), and the
@@ -128,30 +127,30 @@ class FractalEstimator(SelectivityEstimator):
         )
 
     def estimate(self, query: Rect) -> float:
-        # extend by the average rect extents (centers outside the query
-        # can still intersect it), then apply the power law on the
-        # geometric-mean side
-        w = min(query.width + self.avg_width, self.bounds.width)
-        h = min(query.height + self.avg_height, self.bounds.height)
-        side = float(np.sqrt(max(w, 0.0) * max(h, 0.0)))
-        if side <= 0.0:
-            return 0.0
-        ratio = min(side / self._extent, 1.0)
-        return float(self.n_input * ratio ** self.d2)
+        # A batch of one through the same numpy kernel as the batch
+        # path: ``ratio ** d2`` must round identically on both paths
+        # (C ``pow`` via Python and via a numpy array loop can differ
+        # in the last ulp), and the differential serving suite holds
+        # the two paths to exact float equality.
+        qrow = np.array(
+            [[query.x1, query.y1, query.x2, query.y2]],
+            dtype=np.float64,
+        )
+        return float(self._power_law(qrow)[0])
 
-    def estimate_many(self, queries: RectSet) -> np.ndarray:
-        if OBS.enabled:
-            OBS.add("estimator.batch_queries", len(queries))
-            OBS.observe("estimator.batch_size", len(queries))
-        with OBS.timer(f"estimate.{self.name}"):
-            w = np.minimum(queries.widths + self.avg_width,
-                           self.bounds.width)
-            h = np.minimum(queries.heights + self.avg_height,
-                           self.bounds.height)
-            side = np.sqrt(np.clip(w, 0.0, None) * np.clip(h, 0.0, None))
-            ratio = np.minimum(side / self._extent, 1.0)
-            est = self.n_input * ratio ** self.d2
-            return np.where(side > 0.0, est, 0.0)
+    def _power_law(self, qcoords: np.ndarray) -> np.ndarray:
+        """The extended-query power law over an ``(M, 4)`` block."""
+        widths = qcoords[:, 2] - qcoords[:, 0]
+        heights = qcoords[:, 3] - qcoords[:, 1]
+        w = np.minimum(widths + self.avg_width, self.bounds.width)
+        h = np.minimum(heights + self.avg_height, self.bounds.height)
+        side = np.sqrt(np.clip(w, 0.0, None) * np.clip(h, 0.0, None))
+        ratio = np.minimum(side / self._extent, 1.0)
+        est = self.n_input * ratio ** self.d2
+        return np.where(side > 0.0, est, 0.0)
+
+    def _estimate_batch(self, queries: RectSet) -> np.ndarray:
+        return self._power_law(queries.coords)
 
     def size_words(self) -> int:
         return FRACTAL_WORDS

@@ -93,14 +93,11 @@ class SampleEstimator(SelectivityEstimator):
     def estimate(self, query: Rect) -> float:
         return self.sample.count_intersecting(query) * self._scale
 
-    def estimate_many(self, queries: RectSet) -> np.ndarray:
+    def _estimate_batch(self, queries: RectSet) -> np.ndarray:
         if OBS.enabled:
-            OBS.add("estimator.batch_queries", len(queries))
             OBS.add("estimator.sample_comparisons",
                     len(self.sample) * len(queries))
-            OBS.observe("estimator.batch_size", len(queries))
-        with OBS.timer(f"estimate.{self.name}"):
-            return brute_force_counts(self.sample, queries) * self._scale
+        return brute_force_counts(self.sample, queries) * self._scale
 
     def size_words(self) -> int:
         return WORDS_PER_SAMPLE * len(self.sample)

@@ -109,6 +109,33 @@ def build_estimator(
     )
 
 
+def _sweep_task(
+    task: Tuple[str, RectSet, RectSet, int, Dict[str, object]],
+) -> Tuple[str, np.ndarray, float]:
+    """One technique's build + batch estimation (worker side).
+
+    Module-level so it pickles into a ``ProcessPoolExecutor``; returns
+    the raw estimates (not the error summary) so the parent can reduce
+    against its cached ground truth — the reduction is then identical
+    whether the sweep ran with 1 worker or 8.
+    """
+    technique, data, queries, n_buckets, build_kwargs = task
+    built = timed_build(technique, data, n_buckets, **build_kwargs)
+    estimates = built.estimator.estimate_many(queries)
+    return technique, estimates, built.build_seconds
+
+
+def _summary_payload(summary: ErrorSummary) -> Dict[str, object]:
+    """The checkpoint payload of one technique's error summary."""
+    return {
+        "average_relative_error": summary.average_relative_error,
+        "mean_per_query_error": summary.mean_per_query_error,
+        "median_per_query_error": summary.median_per_query_error,
+        "rmse": summary.rmse,
+        "n_queries": summary.n_queries,
+    }
+
+
 @dataclass
 class BuildResult:
     """An estimator plus how long it took to construct."""
@@ -183,6 +210,7 @@ class ExperimentRunner:
         n_buckets: int,
         *,
         checkpoint_dir: Union[str, Path, None] = None,
+        workers: int = 1,
         **build_kwargs,
     ) -> Dict[str, ErrorSummary]:
         """Evaluate several techniques, checkpointing each as it lands.
@@ -194,6 +222,16 @@ class ExperimentRunner:
         is fingerprinted over the sweep parameters, so a checkpoint
         directory left over from a different sweep raises rather than
         contaminating results.
+
+        With ``workers > 1`` the per-technique builds and batch
+        estimations fan out over
+        :func:`repro.serving.parallel_map`; workers return raw
+        estimate arrays and the parent reduces them against its cached
+        ground truth, so the returned summaries (and their dict order)
+        are byte-identical to a ``workers=1`` sweep.  Worker metrics
+        merge into :data:`repro.obs.OBS` in technique order.
+        Checkpoints are written after the parallel batch completes
+        (serial sweeps still checkpoint technique-by-technique).
         """
         store = None
         if checkpoint_dir is not None:
@@ -218,6 +256,36 @@ class ExperimentRunner:
             store = CheckpointStore(checkpoint_dir, fingerprint)
 
         results: Dict[str, ErrorSummary] = {}
+        if workers > 1:
+            # Deferred import: repro.serving depends on the estimator
+            # and resilience layers; the serial path never needs it.
+            from ..serving import parallel_map
+
+            pending = []
+            for technique in techniques:
+                cached = store.load(technique) if store is not None \
+                    else None
+                if cached is not None:
+                    results[technique] = ErrorSummary(**cached)
+                else:
+                    pending.append(technique)
+            tasks = [
+                (technique, self.data, queries, n_buckets,
+                 dict(build_kwargs))
+                for technique in pending
+            ]
+            for technique, estimates, _secs in parallel_map(
+                _sweep_task, tasks, workers=workers
+            ):
+                summary = error_summary(
+                    self.true_counts(queries), estimates
+                )
+                results[technique] = summary
+                if store is not None:
+                    store.save(technique, _summary_payload(summary))
+            # dict order must match the requested technique order, not
+            # the cached-vs-computed split above
+            return {t: results[t] for t in techniques}
         for technique in techniques:
             if store is not None:
                 cached = store.load(technique)
@@ -229,17 +297,5 @@ class ExperimentRunner:
             )
             results[technique] = summary
             if store is not None:
-                store.save(
-                    technique,
-                    {
-                        "average_relative_error":
-                            summary.average_relative_error,
-                        "mean_per_query_error":
-                            summary.mean_per_query_error,
-                        "median_per_query_error":
-                            summary.median_per_query_error,
-                        "rmse": summary.rmse,
-                        "n_queries": summary.n_queries,
-                    },
-                )
+                store.save(technique, _summary_payload(summary))
         return results

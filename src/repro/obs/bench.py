@@ -61,6 +61,7 @@ __all__ = [
     "BenchConfig",
     "QUICK_CONFIG",
     "FULL_CONFIG",
+    "SERVING_CONFIG",
     "measure_overhead",
     "run_bench",
     "write_bench",
@@ -84,6 +85,13 @@ class BenchConfig:
     qsize: float = 0.05
     query_seed: int = 42
     techniques: Tuple[str, ...] = tuple(ALL_TECHNIQUES)
+    #: ``"scalar"`` estimates with the plain per-technique batch call;
+    #: ``"batch"`` serves through :class:`repro.serving
+    #: .BatchServingEngine` and additionally times the scalar
+    #: one-query-at-a-time loop, recording the speedup per technique.
+    engine: str = "scalar"
+    #: Worker processes for the per-technique cells (1 = in-process).
+    workers: int = 1
 
     def replace(self, **changes: Any) -> "BenchConfig":
         from dataclasses import replace
@@ -107,6 +115,19 @@ FULL_CONFIG = BenchConfig(
     n_buckets=100,
     n_regions=10_000,
     n_queries=1_000,
+)
+
+#: The serving-engine regression workload: the paper's 10 000-query
+#: Charminar workload served through the batch engine, with the scalar
+#: one-query-at-a-time loop timed alongside so CI can assert the
+#: vectorised path's speedup stays >= 1.
+SERVING_CONFIG = BenchConfig(
+    name="serving",
+    datasets=(("charminar", 6_000),),
+    n_buckets=40,
+    n_regions=10_000,
+    n_queries=10_000,
+    engine="batch",
 )
 
 
@@ -190,6 +211,9 @@ def _scrub_cell(cell: Dict[str, Any]) -> Dict[str, Any]:
     """Zero the wall-clock fields of one technique record in place."""
     cell["build_seconds"] = 0.0
     cell["estimate_seconds"] = 0.0
+    for key in ("scalar_seconds", "engine_seconds", "speedup"):
+        if key in cell:
+            cell[key] = 0.0
     metrics = cell.get("metrics")
     if isinstance(metrics, dict):
         metrics["timers"] = {}
@@ -198,28 +222,73 @@ def _scrub_cell(cell: Dict[str, Any]) -> Dict[str, Any]:
 
 def _bench_technique(
     technique: str,
-    runner: ExperimentRunner,
+    data: "RectSet",
     queries: "RectSet",
     truth: "npt.NDArray[np.float64]",
     config: BenchConfig,
 ) -> Dict[str, Any]:
-    """Build + evaluate one technique with a fresh metrics window."""
+    """Build + evaluate one technique with a fresh metrics window.
+
+    With ``config.engine == "batch"`` the workload is served through
+    :class:`repro.serving.BatchServingEngine` (cold cache, auto-built
+    bucket index) and the cell additionally records the scalar
+    one-query-at-a-time loop's wall clock (``scalar_seconds``,
+    measured *before* the index is attached — the pre-serving
+    reference path), the resulting ``speedup``, and whether the two
+    paths agreed to exact float equality (``scalar_matches``).
+    """
     OBS.reset()
     start = time.perf_counter()
     estimator = build_estimator(
         technique,
-        runner.data,
+        data,
         config.n_buckets,
         n_regions=config.n_regions,
     )
     build_seconds = time.perf_counter() - start
 
-    start = time.perf_counter()
-    estimates = estimator.estimate_many(queries)
-    estimate_seconds = time.perf_counter() - start
+    extra: Dict[str, Any] = {}
+    if config.engine == "batch":
+        from ..serving import BatchServingEngine
+
+        start = time.perf_counter()
+        scalar = np.array(
+            [estimator.estimate(q) for q in queries], dtype=np.float64
+        )
+        scalar_seconds = time.perf_counter() - start
+
+        # the vectorised kernel itself: this is the speedup CI gates on
+        start = time.perf_counter()
+        estimates = estimator.estimate_batch(queries)
+        estimate_seconds = time.perf_counter() - start
+
+        # the full serving stack (cold cache + auto-attached index) on
+        # the same workload; its per-query bookkeeping is Python-side,
+        # so it is slower than the bare kernel but must still beat the
+        # scalar loop
+        served = BatchServingEngine(estimator)
+        start = time.perf_counter()
+        engine_estimates = served.estimate_batch(queries)
+        engine_seconds = time.perf_counter() - start
+        extra = {
+            "scalar_seconds": scalar_seconds,
+            "engine_seconds": engine_seconds,
+            "speedup": (
+                scalar_seconds / estimate_seconds
+                if estimate_seconds > 0.0 else 0.0
+            ),
+            "scalar_matches": bool(
+                np.array_equal(scalar, estimates)
+                and np.array_equal(scalar, engine_estimates)
+            ),
+        }
+    else:
+        start = time.perf_counter()
+        estimates = estimator.estimate_many(queries)
+        estimate_seconds = time.perf_counter() - start
 
     summary = error_summary(truth, estimates)
-    return {
+    cell = {
         "technique": technique,
         "build_seconds": build_seconds,
         "estimate_seconds": estimate_seconds,
@@ -233,6 +302,23 @@ def _bench_technique(
         },
         "metrics": OBS.snapshot(),
     }
+    cell.update(extra)
+    return cell
+
+
+def _bench_cell_task(
+    task: Tuple[str, "RectSet", "RectSet",
+                "npt.NDArray[np.float64]", BenchConfig],
+) -> Dict[str, Any]:
+    """Worker-side cell evaluation for parallel bench runs.
+
+    Enables the worker's registry itself (``parallel_map`` snapshots a
+    worker's registry for the *merge* path, but bench cells carry
+    their own per-cell snapshot instead).
+    """
+    technique, data, queries, truth, config = task
+    OBS.enable()
+    return _bench_technique(technique, data, queries, truth, config)
 
 
 def _bench_dataset(
@@ -275,9 +361,23 @@ def _bench_dataset(
         }
         if store is not None:
             store.save(meta_key, meta)
-        for technique in missing:
-            cell = _bench_technique(technique, runner, queries, truth,
-                                    config)
+        if config.workers > 1:
+            from ..serving import parallel_map
+
+            tasks = [
+                (technique, data, queries, truth, config)
+                for technique in missing
+            ]
+            fresh = parallel_map(
+                _bench_cell_task, tasks, workers=config.workers
+            )
+        else:
+            fresh = [
+                _bench_technique(technique, data, queries, truth,
+                                 config)
+                for technique in missing
+            ]
+        for technique, cell in zip(missing, fresh):
             if deterministic:
                 cell = _scrub_cell(cell)
             cells[technique] = cell
@@ -317,6 +417,7 @@ def run_bench(
                 "qsize": config.qsize,
                 "query_seed": config.query_seed,
                 "techniques": list(config.techniques),
+                "engine": config.engine,
                 "deterministic": deterministic,
             }
         )
@@ -352,6 +453,8 @@ def run_bench(
             "qsize": config.qsize,
             "query_seed": config.query_seed,
             "techniques": list(config.techniques),
+            "engine": config.engine,
+            "workers": config.workers,
         },
         "environment": {
             "python": sys.version.split()[0],

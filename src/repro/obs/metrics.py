@@ -317,6 +317,44 @@ class MetricsRegistry:
         """The snapshot serialised as JSON."""
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The merge path for parallel sweeps: each worker process runs
+        its own registry, ships :meth:`snapshot` home with its results,
+        and the parent merges.  Counters and timer count/total/min/max
+        merge exactly; histograms merge by moments only (count, total,
+        min, max — the raw samples stay in the worker, so percentiles
+        of a merged histogram describe just the locally observed
+        values).  Merging is unconditional — an empty snapshot is a
+        no-op, and the enabled flag gates *collection*, not accounting.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            stat = self._counters.get(name)
+            if stat is None:
+                stat = self._counters[name] = CounterStat()
+            stat.add(value)
+        for name, tdict in snapshot.get("timers", {}).items():
+            if not tdict.get("count"):
+                continue
+            tstat = self._timers.get(name)
+            if tstat is None:
+                tstat = self._timers[name] = TimerStat()
+            tstat.count += int(tdict["count"])
+            tstat.total += float(tdict["total_s"])
+            tstat.min = min(tstat.min, float(tdict["min_s"]))
+            tstat.max = max(tstat.max, float(tdict["max_s"]))
+        for name, hdict in snapshot.get("histograms", {}).items():
+            if not hdict.get("count"):
+                continue
+            hstat = self._histograms.get(name)
+            if hstat is None:
+                hstat = self._histograms[name] = HistogramStat()
+            hstat.count += int(hdict["count"])
+            hstat.total += float(hdict["total"])
+            hstat.min = min(hstat.min, float(hdict["min"]))
+            hstat.max = max(hstat.max, float(hdict["max"]))
+
     def reset(self) -> None:
         """Drop all collected metrics (the enabled flag is unchanged)."""
         self._counters.clear()

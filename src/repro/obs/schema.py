@@ -84,6 +84,12 @@ _TECHNIQUE_SCHEMA = {
         "size_words": {"type": "integer", "minimum": 0},
         "accuracy": _ACCURACY_SCHEMA,
         "metrics": _METRICS_SCHEMA,
+        # optional serving-engine fields (present when the bench ran
+        # with engine="batch"; additions are backward compatible)
+        "scalar_seconds": {"type": "number", "minimum": 0},
+        "engine_seconds": {"type": "number", "minimum": 0},
+        "speedup": {"type": "number", "minimum": 0},
+        "scalar_matches": {"type": "boolean"},
     },
 }
 
@@ -234,6 +240,8 @@ def _check_value(value: Any, schema: Dict[str, Any], path: str) -> None:
         _require(isinstance(value, str), f"{path} must be a string")
         _require(len(value) >= schema.get("minLength", 0),
                  f"{path} is too short")
+    elif kind == "boolean":
+        _require(isinstance(value, bool), f"{path} must be a boolean")
 
 
 def _check_bounds(value: Any, schema: Dict[str, Any], path: str) -> None:

@@ -152,6 +152,11 @@ class FallbackLink:
     def built(self) -> bool:
         return self._estimator is not None
 
+    @property
+    def built_estimator(self) -> Optional[SelectivityEstimator]:
+        """The estimator if already built, without building it."""
+        return self._estimator
+
 
 class GuardedEstimator(SelectivityEstimator):
     """Fallback-chain estimator with validation, budgets, breakers.
@@ -256,16 +261,20 @@ class GuardedEstimator(SelectivityEstimator):
             )
         return self.last_resort
 
-    def estimate_many(
+    def _estimate_batch(
         self, queries: RectSet
     ) -> npt.NDArray[np.float64]:
         """Batched chain estimate (whole-batch fallback granularity).
 
         Tries each link on the full batch; a link that raises or
         returns any non-finite value forfeits the batch to the next
-        link.  Per-query granularity (and per-query degradation
-        accounting) is available by calling :meth:`estimate` per
-        query, which is what the chaos harness does.
+        link, so the fallback-chain degradation semantics survive the
+        vectorised serving path unchanged.  Per-query granularity (and
+        per-query degradation accounting) is available by calling
+        :meth:`estimate` per query, which is what the chaos harness
+        does.  Invalid query batches never reach the chain — the
+        public :meth:`estimate_batch` wrapper validates first and
+        raises :class:`~repro.errors.GeometryError`.
         """
         OBS.add("resilience.queries", len(queries))
         deadline = Deadline(self.clock, self.call_budget_steps)
@@ -276,7 +285,7 @@ class GuardedEstimator(SelectivityEstimator):
                 continue
             try:
                 self.clock.advance(1)
-                deadline.check(f"estimate_many via {link.name}")
+                deadline.check(f"estimate_batch via {link.name}")
                 estimator = link.estimator(self.retry, self.clock)
 
                 def call(
@@ -285,12 +294,12 @@ class GuardedEstimator(SelectivityEstimator):
                 ) -> "npt.NDArray[np.float64]":
                     fire(f"estimator.{name}")
                     return np.asarray(
-                        est.estimate_many(queries), dtype=np.float64
+                        est.estimate_batch(queries), dtype=np.float64
                     )
 
                 values = with_retry(
                     call, self.retry, self.clock,
-                    label=f"estimate_many {link.name}",
+                    label=f"estimate_batch {link.name}",
                 )
                 if values.shape != (len(queries),) \
                         or not bool(np.isfinite(values).all()) \

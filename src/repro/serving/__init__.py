@@ -1,0 +1,38 @@
+"""Batch query serving: the production-path layer over the estimators.
+
+The paper's estimators answer one query at a time; a serving system
+answers *workloads*.  This package provides the pieces that make that
+fast without changing a single answer:
+
+* :class:`QueryCache` — an LRU result cache keyed by canonicalised
+  query rectangles, with hit/miss/eviction counters under
+  ``serving.cache.*``;
+* :class:`BucketIndex` — a uniform integral-grid over (inflated)
+  bucket MBRs, falling back to an R*-tree of buckets, that prunes the
+  per-query bucket scan from O(buckets) to near O(answer);
+* :class:`BatchServingEngine` — cache → index → vectorised kernel →
+  fallback chain, wrapped behind the ordinary
+  :class:`~repro.estimators.SelectivityEstimator` interface;
+* :func:`parallel_map` — a deterministic chunked
+  ``ProcessPoolExecutor`` mapper (order-preserving, metrics-merging)
+  used by :meth:`repro.eval.ExperimentRunner.evaluate_sweep` and the
+  bench harness to parallelise sweeps across techniques and datasets.
+
+The serving fast paths are locked down by a differential test suite:
+batch equals the scalar loop to exact float equality, cache-on equals
+cache-off, and a ``workers=4`` sweep is byte-identical to
+``workers=1``.
+"""
+
+from .cache import QueryCache, canonical_key
+from .engine import BatchServingEngine
+from .index import BucketIndex
+from .parallel import parallel_map
+
+__all__ = [
+    "QueryCache",
+    "canonical_key",
+    "BucketIndex",
+    "BatchServingEngine",
+    "parallel_map",
+]

@@ -1,0 +1,194 @@
+"""Property tests for :class:`repro.serving.BucketIndex`.
+
+The index contract: ``candidates(query)`` is *exactly* the set of
+buckets whose inflated box intersects the query, which makes it
+
+* a superset of the buckets whose raw box intersects the query, and
+* a superset of the buckets contributing a non-zero term to the
+  Section 3.1 estimate (the inflation folds the formula's query
+  extension onto the bucket side),
+
+so pruning can only drop exact zeros.  On degenerate inputs — point
+rectangles, full-space queries, all-empty buckets — the pruned
+estimate must equal the linear scan exactly; in general it may differ
+in the last ulp (different summation order over the surviving
+buckets), which the general-case test bounds tightly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bucket import Bucket
+from repro.estimators import BucketEstimator
+from repro.eval import build_estimator
+from repro.geometry import Rect, RectSet
+from repro.serving import BucketIndex
+from repro.workload import range_queries
+
+
+def random_dataset(seed):
+    gen = np.random.default_rng(seed)
+    n = int(gen.integers(10, 300))
+    cx = gen.uniform(0, 1_000, n)
+    cy = gen.uniform(0, 1_000, n)
+    w = gen.uniform(0, 60, n)
+    h = gen.uniform(0, 60, n)
+    if gen.integers(0, 2):
+        w[: n // 3] = 0.0
+        h[: n // 3] = 0.0  # mix in point rectangles
+    return RectSet.from_centers(cx, cy, w, h)
+
+
+def random_query(seed, bounds):
+    gen = np.random.default_rng(seed)
+    x = np.sort(gen.uniform(bounds.x1 - 50, bounds.x2 + 50, 2))
+    y = np.sort(gen.uniform(bounds.y1 - 50, bounds.y2 + 50, 2))
+    return Rect(x[0], y[0], x[1], y[1])
+
+
+class TestCandidateSuperset:
+    @given(
+        seed=st.integers(0, 10_000),
+        technique=st.sampled_from(("Min-Skew", "Grid", "Equi-Area")),
+        qseed=st.integers(0, 100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_candidates_cover_intersecting_and_contributing(
+        self, seed, technique, qseed
+    ):
+        data = random_dataset(seed)
+        est = build_estimator(technique, data, 12, n_regions=144)
+        index = BucketIndex(est.buckets)
+        query = random_query(seed * 7 + qseed, data.mbr())
+        candidates = set(index.candidates(query).tolist())
+        for i, bucket in enumerate(est.buckets):
+            if bucket.bbox.intersects(query):
+                assert i in candidates, (
+                    f"bucket {i} intersects the query but was pruned"
+                )
+            if bucket.estimate(query) > 0.0:
+                assert i in candidates, (
+                    f"bucket {i} contributes but was pruned"
+                )
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_candidates_sorted_unique(self, seed):
+        data = random_dataset(seed)
+        est = build_estimator("Min-Skew", data, 10, n_regions=100)
+        index = BucketIndex(est.buckets)
+        cand = index.candidates(random_query(seed, data.mbr()))
+        assert cand.dtype == np.int64
+        assert (np.diff(cand) > 0).all()  # strictly ascending
+        assert cand.size == 0 or (
+            cand.min() >= 0 and cand.max() < len(est.buckets)
+        )
+
+
+class TestIndexedEstimatesMatchLinearScan:
+    def test_point_rect_data_exact(self):
+        # every bucket degenerate: contributions are whole counts, so
+        # pruned and unpruned sums are both exact in float arithmetic
+        gen = np.random.default_rng(3)
+        pts = gen.uniform(0, 100, (200, 2))
+        data = RectSet.from_centers(
+            pts[:, 0], pts[:, 1], np.zeros(200), np.zeros(200)
+        )
+        est = build_estimator("Grid", data, 16)
+        queries = range_queries(data, 0.1, 60, seed=4)
+        plain = np.array([est.estimate(q) for q in queries])
+        est.attach_index(BucketIndex(est.buckets))
+        indexed = np.array([est.estimate(q) for q in queries])
+        est.attach_index(None)
+        np.testing.assert_array_equal(indexed, plain)
+
+    def test_full_space_query_exact(self):
+        data = random_dataset(17)
+        est = build_estimator("Min-Skew", data, 12, n_regions=144)
+        index = BucketIndex(est.buckets)
+        mbr = data.mbr()
+        full = Rect(mbr.x1 - 100, mbr.y1 - 100,
+                    mbr.x2 + 100, mbr.y2 + 100)
+        # nothing can be pruned: candidate set is every bucket
+        assert index.candidates(full).tolist() == list(
+            range(len(est.buckets))
+        )
+        plain = est.estimate(full)
+        est.attach_index(index)
+        assert est.estimate(full) == plain
+        est.attach_index(None)
+
+    def test_empty_bucket_list_rejected(self):
+        with pytest.raises(ValueError):
+            BucketIndex([])
+
+    def test_all_empty_buckets(self):
+        boxes = [Rect(10.0 * i, 0.0, 10.0 * i + 10.0, 10.0)
+                 for i in range(5)]
+        buckets = [Bucket(b, 0) for b in boxes]
+        est = BucketEstimator(buckets, name="empty")
+        est.attach_index(BucketIndex(buckets))
+        assert est.estimate(Rect(0.0, 0.0, 50.0, 10.0)) == 0.0
+        est.attach_index(None)
+
+    def test_miss_query_returns_zero(self):
+        data = random_dataset(23)
+        est = build_estimator("Grid", data, 9)
+        est.attach_index(BucketIndex(est.buckets))
+        far = Rect(1e7, 1e7, 1e7 + 1.0, 1e7 + 1.0)
+        assert est.estimate(far) == 0.0
+        est.attach_index(None)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_general_case_tight_tolerance(self, seed):
+        data = random_dataset(seed)
+        est = build_estimator("Min-Skew", data, 12, n_regions=144)
+        queries = range_queries(data, 0.07, 30, seed=seed + 1)
+        plain = np.array([est.estimate(q) for q in queries])
+        est.attach_index(BucketIndex(est.buckets))
+        indexed = np.array([est.estimate(q) for q in queries])
+        est.attach_index(None)
+        # pruning drops exact zeros; only summation *order* over the
+        # survivors may differ
+        np.testing.assert_allclose(indexed, plain, rtol=1e-12,
+                                   atol=1e-9)
+
+
+class TestProbeStructures:
+    def test_rtree_fallback_for_fat_buckets(self):
+        # buckets covering most of the space blow the per-bucket cell
+        # budget of a fine grid -> R*-tree probe, same answers
+        gen = np.random.default_rng(9)
+        buckets = []
+        for _ in range(12):
+            x1, y1 = gen.uniform(0, 20, 2)
+            buckets.append(
+                Bucket(Rect(x1, y1, x1 + 70.0, y1 + 70.0),
+                       int(gen.integers(1, 50)),
+                       avg_width=2.0, avg_height=2.0)
+            )
+        fine = BucketIndex(buckets, grid_size=256)
+        coarse = BucketIndex(buckets, grid_size=2)
+        assert fine.mode == "rtree"
+        assert coarse.mode == "grid"
+        for qseed in range(25):
+            q = random_query(qseed, Rect(0.0, 0.0, 100.0, 100.0))
+            np.testing.assert_array_equal(
+                fine.candidates(q), coarse.candidates(q)
+            )
+
+    def test_degenerate_space_single_cell(self):
+        # co-located point buckets: zero-extent space must not divide
+        # by a zero cell size
+        buckets = [Bucket(Rect(5.0, 5.0, 5.0, 5.0), 3)
+                   for _ in range(4)]
+        index = BucketIndex(buckets)
+        assert index.candidates(
+            Rect(0.0, 0.0, 10.0, 10.0)
+        ).tolist() == [0, 1, 2, 3]
+        assert index.candidates(
+            Rect(6.0, 6.0, 7.0, 7.0)
+        ).size == 0
