@@ -303,6 +303,77 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_live(args: argparse.Namespace) -> int:
+    from .obs.bench import LIVE_CONFIG, write_bench
+
+    config = LIVE_CONFIG
+    changes = {}
+    if args.name:
+        changes["name"] = args.name
+    if args.buckets is not None:
+        changes["n_buckets"] = args.buckets
+    if args.regions is not None:
+        changes["n_regions"] = args.regions
+    if args.queries is not None:
+        changes["n_queries"] = args.queries
+    if args.ops is not None:
+        if args.ops < 1:
+            raise SystemExit("--ops must be >= 1")
+        changes["live_ops"] = args.ops
+    if args.seed is not None:
+        changes["live_seed"] = args.seed
+    if args.dataset is not None:
+        name, _, size = args.dataset.partition(":")
+        if name not in dataset_names():
+            raise SystemExit(
+                f"unknown dataset {name!r}; known: {dataset_names()}"
+            )
+        try:
+            n = int(size) if size else dict(config.datasets).get(
+                name, 4_000
+            )
+        except ValueError:
+            raise SystemExit(
+                f"invalid dataset size {size!r}; expected name:size, "
+                "e.g. charminar:4000"
+            ) from None
+        changes["datasets"] = ((name, n),)
+    if changes:
+        config = config.replace(**changes)
+
+    doc, path = write_bench(
+        config, out_dir=args.out, deterministic=args.deterministic
+    )
+    consistent = True
+    print(f"# serve-live {config.name}: "
+          f"{doc['total_seconds']:.1f}s total")
+    for ds in doc["datasets"]:
+        print(f"## {ds['dataset']} n={ds['n']}")
+        for tech in ds["techniques"]:
+            live = tech["live"]
+            acc = tech["accuracy"]
+            line = (
+                f"{tech['technique']:11s} "
+                f"ops={live['ops']:5d} "
+                f"(q={live['queries']} i={live['inserts']} "
+                f"d={live['deletes']}) "
+                f"refreshes={live['refreshes']:2d} "
+                f"epoch={live['final_epoch']:4d} "
+                f"flushes={live['cache_flushes']:3d} "
+                f"ARE={acc['average_relative_error']:7.3f}"
+            )
+            if not live["live_matches"]:
+                line += " STALE-SERVING MISMATCH"
+                consistent = False
+            print(line)
+    print(f"wrote {path}")
+    if not consistent:
+        print("epoch consistency violated: served answers differ from "
+              "a freshly built engine", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -510,6 +581,35 @@ def build_parser() -> argparse.ArgumentParser:
              "on config and seeds (resume becomes byte-identical)",
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve-live",
+        help="replay an interleaved query/insert/delete stream against "
+             "maintained histograms through the serving engine; write "
+             "BENCH_live.json and fail on any stale-serving mismatch",
+    )
+    p.add_argument("--name", default=None,
+                   help="artifact name (BENCH_<name>.json)")
+    p.add_argument(
+        "--dataset", default=None, metavar="NAME[:SIZE]",
+        help="dataset name:size pair, e.g. charminar:4000",
+    )
+    p.add_argument("--buckets", type=int, default=None)
+    p.add_argument("--regions", type=int, default=None)
+    p.add_argument("--queries", type=int, default=None,
+                   help="size of the final consistency-check batch")
+    p.add_argument("--ops", type=int, default=None,
+                   help="length of the interleaved operation stream")
+    p.add_argument("--seed", type=int, default=None,
+                   help="seed of the interleaved stream")
+    p.add_argument("--out", default=".",
+                   help="output directory (default: current directory)")
+    p.add_argument(
+        "--deterministic", action="store_true",
+        help="zero all wall-clock fields so the artifact depends only "
+             "on config and seeds",
+    )
+    p.set_defaults(func=_cmd_serve_live)
 
     p = sub.add_parser(
         "chaos",

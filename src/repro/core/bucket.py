@@ -80,6 +80,64 @@ class Bucket:
         )
 
     # ------------------------------------------------------------------
+    # incremental member updates (live maintenance)
+    # ------------------------------------------------------------------
+    def with_inserted(self, rect: Rect) -> "Bucket":
+        """This bucket's summary after ``rect`` joins its members.
+
+        Running averages are updated exactly as
+        :meth:`from_members` would compute them over the enlarged
+        member set; the density stays "total member area over bucket
+        area" (a degenerate bucket box counts each member as one full
+        unit of density, mirroring :meth:`from_members`).
+        """
+        new_count = self.count + 1
+        avg_w = (self.avg_width * self.count + rect.width) / new_count
+        avg_h = (self.avg_height * self.count + rect.height) / new_count
+        area = self.bbox.area
+        density = self.avg_density + (
+            rect.area / area if area > 0 else 1.0
+        )
+        return Bucket(
+            self.bbox, new_count, avg_width=avg_w, avg_height=avg_h,
+            avg_density=density,
+        )
+
+    def with_deleted(self, rect: Rect) -> "Bucket":
+        """This bucket's summary after one member equal to ``rect``
+        leaves.
+
+        The empty-bucket case is guarded here, in one place: removing
+        the last member yields count 0 with zero averages instead of
+        dividing by zero.  An already-empty bucket is returned
+        unchanged (the summary has nothing left to subtract from).
+        Accumulated float error can drive a running average slightly
+        negative on the way down; averages are clamped at 0.0 so the
+        :class:`Bucket` invariants hold.
+        """
+        if self.count == 0:
+            return self
+        new_count = self.count - 1
+        if new_count == 0:
+            return Bucket(self.bbox, 0)
+        avg_w = max(
+            (self.avg_width * self.count - rect.width) / new_count, 0.0
+        )
+        avg_h = max(
+            (self.avg_height * self.count - rect.height) / new_count,
+            0.0,
+        )
+        area = self.bbox.area
+        density = max(
+            self.avg_density - (rect.area / area if area > 0 else 1.0),
+            0.0,
+        )
+        return Bucket(
+            self.bbox, new_count, avg_width=avg_w, avg_height=avg_h,
+            avg_density=density,
+        )
+
+    # ------------------------------------------------------------------
     def estimate(self, query: Rect) -> float:
         """Expected number of member rectangles intersecting ``query``.
 

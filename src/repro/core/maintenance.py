@@ -17,6 +17,23 @@ a bucket summary approximately in sync under inserts and deletes:
 The bucket *layout* is never changed incrementally — only the per-bucket
 statistics — so estimates degrade gracefully between rebuilds instead of
 breaking.  The accompanying tests measure exactly that degradation.
+
+Every mutation that the histogram accepts bumps a monotonically
+increasing **epoch** (:attr:`MaintainedHistogram.epoch`).  The epoch is
+the staleness contract of the live-serving path: any consumer holding a
+derived summary — a :class:`~repro.core.bucket.BucketArrays` kernel
+snapshot, a :class:`~repro.serving.BucketIndex`, a
+:class:`~repro.serving.QueryCache` entry — records the epoch it was
+built from and must rebuild (or flush) when the histogram's epoch has
+moved past it.  Epoch bumps deliberately over-approximate "the bucket
+statistics changed" (an uncovered insert changes only the raw data, yet
+still bumps) because a spurious rebuild costs time while a missed one
+serves wrong answers.
+
+Mutations report under the ``maintenance.*`` counter namespace in
+:data:`repro.obs.OBS` (``maintenance.inserts``,
+``maintenance.deletes``, ``maintenance.delete_misses``,
+``maintenance.uncovered_inserts``, ``maintenance.refreshes``).
 """
 
 from __future__ import annotations
@@ -26,6 +43,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..geometry import Rect, RectSet
+from ..obs import OBS
 from ..partitioners.base import Partitioner
 from .bucket import Bucket
 
@@ -60,12 +78,24 @@ class MaintainedHistogram:
         self.buckets: List[Bucket] = partitioner.partition(data)
         self._modifications = 0
         self._uncovered = 0
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     # bookkeeping
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._rows)
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic version of the bucket summary.
+
+        Starts at 0 and increases by one for every accepted mutation
+        (:meth:`insert`, successful :meth:`delete`, :meth:`refresh`).
+        A consumer that recorded ``epoch`` when it derived state from
+        :attr:`buckets` is stale exactly when the property has moved.
+        """
+        return self._epoch
 
     @property
     def modifications_since_refresh(self) -> int:
@@ -97,30 +127,23 @@ class MaintainedHistogram:
         """Add a rectangle; update the covering bucket's statistics."""
         self._rows.append(np.asarray(rect.as_tuple(), dtype=np.float64))
         self._modifications += 1
+        self._epoch += 1
+        OBS.add("maintenance.inserts")
         cx, cy = rect.center
         idx = self._find_bucket(cx, cy)
         if idx is None:
             self._uncovered += 1
+            OBS.add("maintenance.uncovered_inserts")
             return
-        b = self.buckets[idx]
-        new_count = b.count + 1
-        # running averages over the member rectangles
-        avg_w = (b.avg_width * b.count + rect.width) / new_count
-        avg_h = (b.avg_height * b.count + rect.height) / new_count
-        area = b.bbox.area
-        density = (
-            b.avg_density + (rect.area / area if area > 0 else 1.0)
-        )
-        self.buckets[idx] = Bucket(
-            b.bbox, new_count, avg_width=avg_w, avg_height=avg_h,
-            avg_density=density,
-        )
+        self.buckets[idx] = self.buckets[idx].with_inserted(rect)
 
     def delete(self, rect: Rect) -> bool:
         """Remove one rectangle equal to ``rect``.
 
-        Returns False (and changes nothing) if no such rectangle is
-        stored.
+        Returns False (and changes nothing — the epoch included) if no
+        such rectangle is stored.  Removing the last member of a bucket
+        leaves an empty bucket (count 0, zero averages); the guard
+        lives in :meth:`repro.core.bucket.Bucket.with_deleted`.
         """
         target = np.asarray(rect.as_tuple(), dtype=np.float64)
         for i, row in enumerate(self._rows):
@@ -128,33 +151,15 @@ class MaintainedHistogram:
                 del self._rows[i]
                 break
         else:
+            OBS.add("maintenance.delete_misses")
             return False
         self._modifications += 1
+        self._epoch += 1
+        OBS.add("maintenance.deletes")
         cx, cy = rect.center
         idx = self._find_bucket(cx, cy)
-        if idx is None:
-            return True
-        b = self.buckets[idx]
-        if b.count == 0:
-            return True
-        new_count = b.count - 1
-        if new_count == 0:
-            self.buckets[idx] = Bucket(b.bbox, 0)
-            return True
-        avg_w = max(
-            (b.avg_width * b.count - rect.width) / new_count, 0.0
-        )
-        avg_h = max(
-            (b.avg_height * b.count - rect.height) / new_count, 0.0
-        )
-        area = b.bbox.area
-        density = max(
-            b.avg_density - (rect.area / area if area > 0 else 1.0), 0.0
-        )
-        self.buckets[idx] = Bucket(
-            b.bbox, new_count, avg_width=avg_w, avg_height=avg_h,
-            avg_density=density,
-        )
+        if idx is not None:
+            self.buckets[idx] = self.buckets[idx].with_deleted(rect)
         return True
 
     # ------------------------------------------------------------------
@@ -179,3 +184,5 @@ class MaintainedHistogram:
             self.buckets = self._partitioner.partition(data)
         self._modifications = 0
         self._uncovered = 0
+        self._epoch += 1
+        OBS.add("maintenance.refreshes")

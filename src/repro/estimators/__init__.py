@@ -6,12 +6,14 @@ from .base import SelectivityEstimator
 from .bucket_estimator import WORDS_PER_BUCKET, BucketEstimator
 from .exact import ExactEstimator
 from .fractal import FractalEstimator, correlation_dimension
+from .maintained import MaintainedEstimator
 from .sampling import WORDS_PER_SAMPLE, SampleEstimator, reservoir_sample
 from .uniform import UniformEstimator
 
 __all__ = [
     "SelectivityEstimator",
     "BucketEstimator",
+    "MaintainedEstimator",
     "WORDS_PER_BUCKET",
     "UniformEstimator",
     "SampleEstimator",

@@ -75,6 +75,34 @@ class BucketEstimator(SelectivityEstimator):
         return cls(buckets, name=partitioner.name)
 
     # ------------------------------------------------------------------
+    # staleness hooks
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Version of the bucket summary this estimator serves.
+
+        A plain :class:`BucketEstimator` owns its bucket list, which
+        never changes after construction, so the epoch is a constant 0.
+        Live adapters (:class:`repro.estimators.maintained.\
+MaintainedEstimator`) override this with their source histogram's
+        monotonic epoch; the serving engine compares it against the
+        epoch it last observed to decide when caches and indexes must
+        be invalidated.
+        """
+        return 0
+
+    def sync(self) -> bool:
+        """Rebuild derived state if the source summary has moved.
+
+        Returns True when a rebuild happened (so callers holding state
+        derived from :attr:`buckets` know to rebuild too).  The static
+        base class is never stale.  Both query paths call this first,
+        which is what makes a bare estimator — no serving engine
+        involved — safe to query mid-maintenance.
+        """
+        return False
+
+    # ------------------------------------------------------------------
     # index hook
     # ------------------------------------------------------------------
     def attach_index(self, index: Optional[BucketProbe]) -> None:
@@ -90,6 +118,7 @@ class BucketEstimator(SelectivityEstimator):
     # query paths
     # ------------------------------------------------------------------
     def estimate(self, query: Rect) -> float:
+        self.sync()
         qrow = np.array(
             [[query.x1, query.y1, query.x2, query.y2]],
             dtype=np.float64,
@@ -109,6 +138,7 @@ class BucketEstimator(SelectivityEstimator):
     def _estimate_batch(
         self, queries: RectSet
     ) -> npt.NDArray[np.float64]:
+        self.sync()
         if OBS.enabled:
             OBS.add("estimator.buckets_inspected",
                     len(self.buckets) * len(queries))

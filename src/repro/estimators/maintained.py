@@ -1,0 +1,81 @@
+"""Serve a live :class:`~repro.core.maintenance.MaintainedHistogram`.
+
+:class:`MaintainedEstimator` is the adapter between the maintenance
+layer (which mutates bucket statistics in place, epoch-stamping every
+accepted change) and the estimator/serving stack (which assumes an
+immutable bucket list it can snapshot into columnar
+:class:`~repro.core.bucket.BucketArrays`).  The adapter is *lazily*
+consistent: it records the histogram epoch its snapshot was built from
+and rebuilds on the first query after the epoch moves — never during a
+maintenance burst, and never twice for one burst.
+
+Consistency has two halves:
+
+* **local** — both query paths re-snapshot before answering (via the
+  :meth:`sync` hook that :class:`~repro.estimators.BucketEstimator`
+  calls first thing), so a bare adapter never serves stale statistics;
+* **shared** — any attached bucket index is *dropped* on sync rather
+  than rebuilt, because the adapter does not know how its owner built
+  it.  Owners that want to keep index acceleration
+  (:class:`repro.serving.BatchServingEngine`) watch :attr:`epoch`
+  themselves and re-attach a fresh index; see the engine's
+  revalidation step.
+"""
+
+from __future__ import annotations
+
+from ..core.bucket import BucketArrays
+from ..core.maintenance import MaintainedHistogram
+from ..obs import OBS
+from .bucket_estimator import BucketEstimator
+
+
+class MaintainedEstimator(BucketEstimator):
+    """A :class:`BucketEstimator` view over a live histogram.
+
+    The histogram stays the single source of truth: this class never
+    copies rows, only the bucket summaries, and only when queried
+    after the histogram's epoch has moved.
+    """
+
+    def __init__(
+        self,
+        histogram: MaintainedHistogram,
+        name: str = "Maintained",
+    ) -> None:
+        self._histogram = histogram
+        super().__init__(list(histogram.buckets), name=name)
+        self._synced_epoch = histogram.epoch
+
+    @property
+    def histogram(self) -> MaintainedHistogram:
+        return self._histogram
+
+    @property
+    def epoch(self) -> int:
+        """The source histogram's epoch (moves under maintenance)."""
+        return self._histogram.epoch
+
+    @property
+    def synced_epoch(self) -> int:
+        """Epoch the current kernel snapshot was built from."""
+        return self._synced_epoch
+
+    def sync(self) -> bool:
+        """Re-snapshot the bucket list if the histogram has moved.
+
+        Drops any attached index (it was built over the previous
+        snapshot; serving through it would be the exact stale-pruning
+        bug this layer exists to prevent).  Returns True when a
+        rebuild happened.
+        """
+        current = self._histogram.epoch
+        if current == self._synced_epoch:
+            return False
+        self.buckets = list(self._histogram.buckets)
+        self._arrays = BucketArrays(self.buckets)
+        self._index = None
+        self._synced_epoch = current
+        if OBS.enabled:
+            OBS.add("serving.epoch.estimator_rebuilds")
+        return True

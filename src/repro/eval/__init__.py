@@ -4,10 +4,12 @@ accounting, technique factory, experiment definitions, and reporting."""
 from .metrics import ErrorSummary, average_relative_error, error_summary
 from .runner import (
     ALL_TECHNIQUES,
+    BUCKET_TECHNIQUES,
     COMPETITIVE_TECHNIQUES,
     BuildResult,
     ExperimentRunner,
     build_estimator,
+    build_partitioner,
     timed_build,
 )
 from .space import (
@@ -24,10 +26,12 @@ __all__ = [
     "error_summary",
     "ErrorSummary",
     "build_estimator",
+    "build_partitioner",
     "timed_build",
     "BuildResult",
     "ExperimentRunner",
     "ALL_TECHNIQUES",
+    "BUCKET_TECHNIQUES",
     "COMPETITIVE_TECHNIQUES",
     "words_for_buckets",
     "buckets_for_words",

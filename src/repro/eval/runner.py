@@ -109,6 +109,57 @@ def build_estimator(
     )
 
 
+#: Techniques whose summary is a bucket partitioning (and can therefore
+#: be maintained live through a
+#: :class:`~repro.core.maintenance.MaintainedHistogram`).
+BUCKET_TECHNIQUES = (
+    "Min-Skew",
+    "Equi-Count",
+    "Equi-Area",
+    "R-Tree",
+    "Grid",
+)
+
+
+def build_partitioner(
+    technique: str,
+    n_buckets: int,
+    *,
+    n_regions: int = 10_000,
+    refinements: int = 0,
+    split_policy: str = "marginal",
+    rtree_method: str = "insert",
+):
+    """Construct a bucket technique's partitioner by its paper name.
+
+    The partitioner (rather than a built estimator) is what the
+    maintenance layer needs: a
+    :class:`~repro.core.maintenance.MaintainedHistogram` re-runs it on
+    every refresh.  Only the techniques in :data:`BUCKET_TECHNIQUES`
+    have one — Sample, Uniform, and Fractal summarise without buckets
+    and raise here.
+    """
+    if technique == "Min-Skew":
+        return MinSkewPartitioner(
+            n_buckets,
+            n_regions=n_regions,
+            refinements=refinements,
+            split_policy=split_policy,
+        )
+    if technique == "Equi-Area":
+        return EquiAreaPartitioner(n_buckets)
+    if technique == "Equi-Count":
+        return EquiCountPartitioner(n_buckets)
+    if technique == "R-Tree":
+        return RTreePartitioner(n_buckets, method=rtree_method)
+    if technique == "Grid":
+        return FixedGridPartitioner(n_buckets)
+    raise ValueError(
+        f"technique {technique!r} has no bucket partitioner; "
+        f"choose from {BUCKET_TECHNIQUES}"
+    )
+
+
 def _sweep_task(
     task: Tuple[str, RectSet, RectSet, int, Dict[str, object]],
 ) -> Tuple[str, np.ndarray, float]:

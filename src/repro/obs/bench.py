@@ -49,11 +49,16 @@ import numpy.typing as npt
 from ..core.minskew import MinSkewPartitioner
 from ..geometry import RectSet
 from ..data import make_dataset
-from ..eval import ALL_TECHNIQUES, ExperimentRunner, build_estimator
+from ..eval import (
+    ALL_TECHNIQUES,
+    ExperimentRunner,
+    build_estimator,
+    build_partitioner,
+)
 from ..eval.metrics import error_summary
 from ..storage.checkpoint import CheckpointStore, config_fingerprint
 from ..storage.persist import atomic_write_text
-from ..workload import range_queries
+from ..workload import live_workload, range_queries
 from .metrics import OBS, MetricsRegistry
 from .schema import SCHEMA_VERSION, validate_bench
 
@@ -62,6 +67,7 @@ __all__ = [
     "QUICK_CONFIG",
     "FULL_CONFIG",
     "SERVING_CONFIG",
+    "LIVE_CONFIG",
     "measure_overhead",
     "run_bench",
     "write_bench",
@@ -88,10 +94,21 @@ class BenchConfig:
     #: ``"scalar"`` estimates with the plain per-technique batch call;
     #: ``"batch"`` serves through :class:`repro.serving
     #: .BatchServingEngine` and additionally times the scalar
-    #: one-query-at-a-time loop, recording the speedup per technique.
+    #: one-query-at-a-time loop, recording the speedup per technique;
+    #: ``"live"`` replays an interleaved query/insert/delete stream
+    #: against a maintained histogram served through the engine and
+    #: checks the staleness contract (see ``live_matches``).
     engine: str = "scalar"
     #: Worker processes for the per-technique cells (1 = in-process).
     workers: int = 1
+    #: Length of the interleaved maintenance stream (``engine="live"``).
+    live_ops: int = 0
+    #: Seed of the interleaved stream.
+    live_seed: int = 43
+    #: Drift threshold of the maintained histograms — low enough that
+    #: the default stream actually triggers refreshes (full summary
+    #: rebuilds), so the bench exercises every epoch-bump source.
+    live_drift: float = 0.02
 
     def replace(self, **changes: Any) -> "BenchConfig":
         from dataclasses import replace
@@ -128,6 +145,23 @@ SERVING_CONFIG = BenchConfig(
     n_regions=10_000,
     n_queries=10_000,
     engine="batch",
+)
+
+#: The live-serving regression workload: each bucket technique is kept
+#: in a :class:`~repro.core.maintenance.MaintainedHistogram`, an
+#: interleaved query/insert/delete stream is replayed against it
+#: through the serving engine (auto-refresh on drift), and the final
+#: batch answers are checked bit-identical to a freshly built engine
+#: over the same buckets — the epoch-consistency gate CI asserts.
+LIVE_CONFIG = BenchConfig(
+    name="live",
+    datasets=(("charminar", 4_000),),
+    n_buckets=40,
+    n_regions=2_500,
+    n_queries=500,
+    techniques=("Min-Skew", "Equi-Count", "Grid"),
+    engine="live",
+    live_ops=800,
 )
 
 
@@ -214,10 +248,124 @@ def _scrub_cell(cell: Dict[str, Any]) -> Dict[str, Any]:
     for key in ("scalar_seconds", "engine_seconds", "speedup"):
         if key in cell:
             cell[key] = 0.0
+    live = cell.get("live")
+    if isinstance(live, dict):
+        live["replay_seconds"] = 0.0
     metrics = cell.get("metrics")
     if isinstance(metrics, dict):
         metrics["timers"] = {}
     return cell
+
+
+def _bench_live_technique(
+    technique: str,
+    data: "RectSet",
+    queries: "RectSet",
+    config: BenchConfig,
+) -> Dict[str, Any]:
+    """One technique's live-serving cell.
+
+    The technique's partitioner seeds a
+    :class:`~repro.core.maintenance.MaintainedHistogram`, which a
+    :class:`~repro.serving.BatchServingEngine` serves through a
+    :class:`~repro.estimators.MaintainedEstimator` while the
+    interleaved ``live_workload`` stream mutates it (refreshing
+    whenever drift crosses the histogram's threshold).  The cell's
+    ``live.live_matches`` field records the staleness contract: after
+    the whole stream, the engine's batch answers — cache, index, and
+    kernel snapshot included — are bit-identical to a freshly built
+    engine over the same buckets.  Accuracy is scored against exact
+    ground truth over the *final* data, which is what the histogram
+    summarises by then.
+    """
+    from ..core.maintenance import MaintainedHistogram
+    from ..estimators import BucketEstimator, MaintainedEstimator
+    from ..serving import BatchServingEngine
+
+    OBS.reset()
+    start = time.perf_counter()
+    hist = MaintainedHistogram(
+        build_partitioner(
+            technique, config.n_buckets, n_regions=config.n_regions
+        ),
+        data,
+        drift_threshold=config.live_drift,
+    )
+    build_seconds = time.perf_counter() - start
+
+    estimator = MaintainedEstimator(hist, name=technique)
+    engine = BatchServingEngine(estimator)
+    ops = live_workload(
+        data, config.qsize, config.live_ops, seed=config.live_seed
+    )
+    counts = {"query": 0, "insert": 0, "delete": 0}
+    start = time.perf_counter()
+    for op in ops:
+        counts[op.kind] += 1
+        if op.kind == "query":
+            engine.estimate(op.rect)
+        elif op.kind == "insert":
+            hist.insert(op.rect)
+        else:
+            hist.delete(op.rect)
+        if op.kind != "query" and hist.needs_refresh:
+            hist.refresh()
+    replay_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    served = engine.estimate_batch(queries)
+    estimate_seconds = time.perf_counter() - start
+
+    # the differential gate: a from-scratch engine over the final
+    # buckets must agree bit-for-bit with the long-lived one
+    fresh = BatchServingEngine(
+        BucketEstimator(list(hist.buckets), name=technique)
+    )
+    live_matches = bool(
+        np.array_equal(served, fresh.estimate_batch(queries))
+    )
+
+    final_data = hist.current_data()
+    truth = ExperimentRunner(final_data).true_counts(queries)
+    summary = error_summary(truth, served)
+    snapshot = OBS.snapshot()
+    counters = snapshot["counters"]
+    return {
+        "technique": technique,
+        "build_seconds": build_seconds,
+        "estimate_seconds": estimate_seconds,
+        "size_words": int(estimator.size_words()),
+        "accuracy": {
+            "average_relative_error": summary.average_relative_error,
+            "mean_per_query_error": summary.mean_per_query_error,
+            "median_per_query_error": summary.median_per_query_error,
+            "rmse": summary.rmse,
+            "n_queries": summary.n_queries,
+        },
+        "metrics": snapshot,
+        "live": {
+            "ops": len(ops),
+            "queries": counts["query"],
+            "inserts": counts["insert"],
+            "deletes": counts["delete"],
+            "refreshes": int(
+                counters.get("maintenance.refreshes", 0)
+            ),
+            "final_epoch": int(hist.epoch),
+            "final_n": int(len(final_data)),
+            "cache_flushes": int(
+                engine.cache.flushes if engine.cache else 0
+            ),
+            "estimator_rebuilds": int(
+                counters.get("serving.epoch.estimator_rebuilds", 0)
+            ),
+            "index_rebuilds": int(
+                counters.get("serving.epoch.index_rebuilds", 0)
+            ),
+            "replay_seconds": replay_seconds,
+            "live_matches": live_matches,
+        },
+    }
 
 
 def _bench_technique(
@@ -236,7 +384,13 @@ def _bench_technique(
     measured *before* the index is attached — the pre-serving
     reference path), the resulting ``speedup``, and whether the two
     paths agreed to exact float equality (``scalar_matches``).
+
+    ``config.engine == "live"`` cells are built by
+    :func:`_bench_live_technique` instead (the ``truth`` argument is
+    unused there — live cells score against the post-stream data).
     """
+    if config.engine == "live":
+        return _bench_live_technique(technique, data, queries, config)
     OBS.reset()
     start = time.perf_counter()
     estimator = build_estimator(
@@ -418,6 +572,9 @@ def run_bench(
                 "query_seed": config.query_seed,
                 "techniques": list(config.techniques),
                 "engine": config.engine,
+                "live_ops": config.live_ops,
+                "live_seed": config.live_seed,
+                "live_drift": config.live_drift,
                 "deterministic": deterministic,
             }
         )
@@ -455,6 +612,9 @@ def run_bench(
             "techniques": list(config.techniques),
             "engine": config.engine,
             "workers": config.workers,
+            "live_ops": config.live_ops,
+            "live_seed": config.live_seed,
+            "live_drift": config.live_drift,
         },
         "environment": {
             "python": sys.version.split()[0],

@@ -67,6 +67,38 @@ _ACCURACY_SCHEMA = {
     },
 }
 
+_LIVE_SCHEMA = {
+    "type": "object",
+    "required": [
+        "ops",
+        "queries",
+        "inserts",
+        "deletes",
+        "refreshes",
+        "final_epoch",
+        "final_n",
+        "cache_flushes",
+        "estimator_rebuilds",
+        "index_rebuilds",
+        "replay_seconds",
+        "live_matches",
+    ],
+    "properties": {
+        "ops": {"type": "integer", "minimum": 1},
+        "queries": {"type": "integer", "minimum": 0},
+        "inserts": {"type": "integer", "minimum": 0},
+        "deletes": {"type": "integer", "minimum": 0},
+        "refreshes": {"type": "integer", "minimum": 0},
+        "final_epoch": {"type": "integer", "minimum": 0},
+        "final_n": {"type": "integer", "minimum": 1},
+        "cache_flushes": {"type": "integer", "minimum": 0},
+        "estimator_rebuilds": {"type": "integer", "minimum": 0},
+        "index_rebuilds": {"type": "integer", "minimum": 0},
+        "replay_seconds": {"type": "number", "minimum": 0},
+        "live_matches": {"type": "boolean"},
+    },
+}
+
 _TECHNIQUE_SCHEMA = {
     "type": "object",
     "required": [
@@ -90,6 +122,9 @@ _TECHNIQUE_SCHEMA = {
         "engine_seconds": {"type": "number", "minimum": 0},
         "speedup": {"type": "number", "minimum": 0},
         "scalar_matches": {"type": "boolean"},
+        # optional live-serving fields (present when the bench ran
+        # with engine="live")
+        "live": _LIVE_SCHEMA,
     },
 }
 

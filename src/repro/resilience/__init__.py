@@ -33,6 +33,7 @@ from .faults import (
 )
 from .guarded import (
     DEFAULT_CALL_BUDGET_STEPS,
+    LAST_RESORT_LINK,
     CircuitBreaker,
     FallbackLink,
     GuardedEstimator,
@@ -62,6 +63,7 @@ __all__ = [
     "GuardedEstimator",
     "build_fallback_chain",
     "DEFAULT_CALL_BUDGET_STEPS",
+    "LAST_RESORT_LINK",
     # chaos harness
     "ChaosConfig",
     "ChaosReport",

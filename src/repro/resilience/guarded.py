@@ -53,11 +53,17 @@ __all__ = [
     "GuardedEstimator",
     "build_fallback_chain",
     "DEFAULT_CALL_BUDGET_STEPS",
+    "LAST_RESORT_LINK",
 ]
 
 #: Default per-call step budget: generous for a three-link chain (each
 #: link attempt costs one step; injected ``slow`` faults cost more).
 DEFAULT_CALL_BUDGET_STEPS = 50
+
+#: Pseudo link name reported by :attr:`GuardedEstimator.last_served`
+#: when a call was answered by the last-resort constant rather than
+#: any link.
+LAST_RESORT_LINK = "last-resort"
 
 
 class CircuitBreaker:
@@ -201,6 +207,20 @@ class GuardedEstimator(SelectivityEstimator):
         self.call_budget_steps = call_budget_steps
         self.retry = retry if retry is not None else RetryPolicy()
         self.last_resort = last_resort
+        #: Name of the link that answered the most recent call
+        #: (:data:`LAST_RESORT_LINK` for a last-resort answer, ``None``
+        #: before the first).  The serving engine watches this to flush
+        #: its cache on degradation/recovery transitions.
+        self.last_served: Optional[str] = None
+
+    @property
+    def is_degraded(self) -> bool:
+        """Whether the most recent call was served below full quality
+        (by any link other than the first, or by the last resort)."""
+        return (
+            self.last_served is not None
+            and self.last_served != self.links[0].name
+        )
 
     # ------------------------------------------------------------------
     def _attempt(
@@ -248,6 +268,7 @@ class GuardedEstimator(SelectivityEstimator):
                 OBS.add(f"resilience.link_failures.{link.name}")
                 continue
             link.breaker.record_success()
+            self.last_served = link.name
             OBS.add(f"resilience.served.{link.name}")
             if position > 0:
                 OBS.add("resilience.degraded")
@@ -259,6 +280,7 @@ class GuardedEstimator(SelectivityEstimator):
                 hint="check fault rates / artifact integrity; the "
                      "chain has no healthy link left",
             )
+        self.last_served = LAST_RESORT_LINK
         return self.last_resort
 
     def _estimate_batch(
@@ -317,6 +339,7 @@ class GuardedEstimator(SelectivityEstimator):
                 OBS.add(f"resilience.link_failures.{link.name}")
                 continue
             link.breaker.record_success()
+            self.last_served = link.name
             OBS.add(f"resilience.served.{link.name}", len(queries))
             if position > 0:
                 OBS.add("resilience.degraded", len(queries))
@@ -328,6 +351,7 @@ class GuardedEstimator(SelectivityEstimator):
                 hint="check fault rates / artifact integrity; the "
                      "chain has no healthy link left",
             )
+        self.last_served = LAST_RESORT_LINK
         return np.full(
             len(queries), self.last_resort, dtype=np.float64
         )

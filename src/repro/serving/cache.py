@@ -51,7 +51,10 @@ class QueryCache:
         serving engine that wants no cache simply does not build one).
     """
 
-    __slots__ = ("capacity", "_entries", "hits", "misses", "evictions")
+    __slots__ = (
+        "capacity", "_entries", "hits", "misses", "evictions",
+        "flushes",
+    )
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
@@ -61,6 +64,7 @@ class QueryCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.flushes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -150,6 +154,15 @@ class QueryCache:
     def clear(self) -> None:
         """Drop every entry (the statistics are kept)."""
         self._entries.clear()
+
+    def flush(self) -> None:
+        """:meth:`clear` plus invalidation accounting — the serving
+        engine calls this when cached answers became *wrong* (source
+        epoch moved, fallback chain transitioned), as opposed to a
+        caller merely resetting a cache it owns."""
+        self.clear()
+        self.flushes += 1
+        OBS.add("serving.cache.flushes")
 
     def __repr__(self) -> str:
         return (

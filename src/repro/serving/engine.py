@@ -20,22 +20,52 @@ allowed to change a single answer:
    faults degrade along the chain exactly as they do on the scalar
    path.
 
+Both layers hold *derived* state, and derived state can go stale two
+ways, each handled by the engine's **revalidation** step that runs
+before any cache or index is consulted:
+
+* **data staleness** — a live summary
+  (:class:`~repro.estimators.MaintainedEstimator`) moved its epoch
+  under maintenance.  The engine remembers the epoch it last observed
+  for every reachable bucket estimator; on movement it flushes the
+  cache, forces the estimator's kernel snapshot to re-sync, and
+  rebuilds the attached index from the new buckets.  Counted under
+  ``serving.epoch.*`` (``stale``, ``cache_flushes``,
+  ``index_rebuilds``).
+* **chain staleness** — a guarded chain degraded to a fallback link or
+  recovered from one since the previous serve.  Cached answers from
+  the old link would silently mix qualities, so the cache is flushed
+  on every serving-link transition (``serving.epoch.transitions``);
+  additionally, answers produced while the chain is degraded are
+  *never* cached, so a recovered chain re-computes popular queries at
+  full quality instead of replaying Uniform-quality numbers.  A link
+  built lazily mid-degradation is discovered by the same step and gets
+  its index then (``serving.epoch.links_indexed``).
+
+One window remains open by design: the batch *during which* a chain
+degrades can mix earlier cached healthy answers with fresh degraded
+ones, and a batch answered entirely from cache cannot observe a chain
+transition at all (the first miss heals it).  Closing it would require
+consulting the chain before every cache hit, which is the cost the
+cache exists to avoid.
+
 The engine reports under the ``serving.*`` metric namespace
 (``serving.requests``, ``serving.queries``, the ``serving.batch``
-timer, and the cache's ``serving.cache.*`` counters); the wrapped
-estimator keeps its own ``estimator.*`` accounting for the queries
-that actually reach it.
+timer, the cache's ``serving.cache.*`` counters, and the
+``serving.epoch.*`` revalidation counters); the wrapped estimator
+keeps its own ``estimator.*`` accounting for the queries that actually
+reach it.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 import numpy.typing as npt
 
 from ..estimators import BucketEstimator, SelectivityEstimator
-from ..geometry import Rect, RectSet, validate_coords_array
+from ..geometry import Rect, RectSet, validate_coords_array, validate_extent
 from ..obs import OBS
 from ..resilience import GuardedEstimator
 from .cache import QueryCache, canonical_key
@@ -56,7 +86,9 @@ def _bucket_estimators(
 
     Looks through a guarded fallback chain's already-built links;
     unbuilt links are left lazy (indexing them would force — and pay
-    for — their construction up front).
+    for — their construction up front).  The engine re-runs this
+    discovery on every serve, so a link built lazily mid-degradation
+    is picked up on the next call rather than never.
     """
     if isinstance(estimator, BucketEstimator):
         return [estimator]
@@ -81,7 +113,8 @@ class BatchServingEngine(SelectivityEstimator):
         LRU capacity; ``0`` disables the cache entirely.
     auto_index:
         Build and attach a :class:`BucketIndex` to every reachable
-        :class:`BucketEstimator`.
+        :class:`BucketEstimator` (including ones that only become
+        reachable later, when a guarded link builds lazily).
     """
 
     def __init__(
@@ -96,15 +129,115 @@ class BatchServingEngine(SelectivityEstimator):
         self.cache: Optional[QueryCache] = (
             QueryCache(cache_size) if cache_size > 0 else None
         )
+        self.auto_index = auto_index
         self.indexed: List[BucketEstimator] = []
-        if auto_index:
-            for bucket_est in _bucket_estimators(estimator):
-                bucket_est.attach_index(BucketIndex(bucket_est.buckets))
-                self.indexed.append(bucket_est)
+        #: last observed epoch per reachable bucket estimator, keyed by
+        #: identity (the value tuple keeps the estimator alive so ids
+        #: cannot be recycled under us).
+        self._observed: Dict[int, Tuple[BucketEstimator, int]] = {}
+        #: last observed serving link of a guarded chain (None until
+        #: the chain has served once).
+        self._chain_state: Optional[str] = None
+        self._revalidate()
+
+    # ------------------------------------------------------------------
+    # revalidation: epochs, lazy links, chain transitions
+    # ------------------------------------------------------------------
+    def _flush_cache(self) -> None:
+        # unconditional: ``flushes`` counts invalidation *events*, and
+        # an event against an empty cache is still an event (degraded
+        # answers are never cached, so a recovery transition usually
+        # finds the cache already empty).
+        if self.cache is not None:
+            self.cache.flush()
+
+    def _revalidate(self) -> None:
+        """Bring every piece of derived state up to date.
+
+        Runs before any cache lookup.  Three responsibilities:
+
+        * discover bucket estimators that became reachable since the
+          last serve (lazily built guarded links) and index them;
+        * compare each known estimator's epoch against the last
+          observed value; on movement, re-sync its kernel snapshot,
+          rebuild its index, and flush the cache;
+        * compare the guarded chain's serving link against the last
+          observed one; on a transition, flush the cache.
+        """
+        stale = False
+        for est in _bucket_estimators(self.inner):
+            known = self._observed.get(id(est))
+            if known is None:
+                if self.auto_index and est.buckets:
+                    est.attach_index(
+                        BucketIndex(est.buckets, epoch=est.epoch)
+                    )
+                    self.indexed.append(est)
+                    if OBS.enabled:
+                        OBS.add("serving.epoch.links_indexed")
+                self._observed[id(est)] = (est, est.epoch)
+                continue
+            if est.epoch != known[1]:
+                stale = True
+                est.sync()
+                if self.auto_index:
+                    if est.buckets:
+                        est.attach_index(
+                            BucketIndex(est.buckets, epoch=est.epoch)
+                        )
+                        if est not in self.indexed:
+                            self.indexed.append(est)
+                    if OBS.enabled:
+                        OBS.add("serving.epoch.index_rebuilds")
+                self._observed[id(est)] = (est, est.epoch)
+        if stale:
+            if OBS.enabled:
+                OBS.add("serving.epoch.stale")
+            self._flush_cache()
+        self._observe_chain()
+
+    def _observe_chain(self) -> None:
+        """Flush the cache when the chain's serving link has moved.
+
+        The first observed link (``None`` → name) is not a transition:
+        flushing there would penalise every engine's very first serve.
+        """
+        chain = self.inner
+        if not isinstance(chain, GuardedEstimator):
+            return
+        current = chain.last_served
+        if current is None:
+            return
+        if self._chain_state is not None \
+                and current != self._chain_state:
+            if OBS.enabled:
+                OBS.add("serving.epoch.transitions")
+            self._flush_cache()
+        self._chain_state = current
+
+    def _cacheable(self) -> bool:
+        """Whether answers from this serve may enter the cache.
+
+        Degraded-chain answers are excluded: caching them would keep
+        fallback-quality numbers alive after the chain recovers.
+        """
+        chain = self.inner
+        if isinstance(chain, GuardedEstimator):
+            return not chain.is_degraded
+        return True
 
     # ------------------------------------------------------------------
     def estimate(self, query: Rect) -> float:
-        """Scalar serve: cache lookup, then the inner estimator."""
+        """Scalar serve: cache lookup, then the inner estimator.
+
+        Validates exactly like the batch path — a NaN/inf or inverted
+        query raises :class:`~repro.errors.GeometryError` before it
+        can touch the cache or the inner estimator.
+        """
+        validate_extent(
+            query.x1, query.y1, query.x2, query.y2, what="query"
+        )
+        self._revalidate()
         if self.cache is None:
             return self.inner.estimate(query)
         key = canonical_key(query.x1, query.y1, query.x2, query.y2)
@@ -112,7 +245,9 @@ class BatchServingEngine(SelectivityEstimator):
         if cached is not None:
             return cached
         value = self.inner.estimate(query)
-        self.cache.put(key, value)
+        self._observe_chain()
+        if self._cacheable():
+            self.cache.put(key, value)
         return value
 
     def estimate_batch(
@@ -131,6 +266,7 @@ class BatchServingEngine(SelectivityEstimator):
             OBS.add("serving.requests")
             OBS.add("serving.queries", len(queries))
         with OBS.timer("serving.batch"):
+            self._revalidate()
             return self._serve(queries)
 
     def _serve(self, queries: RectSet) -> npt.NDArray[np.float64]:
@@ -140,7 +276,9 @@ class BatchServingEngine(SelectivityEstimator):
         if missing.size:
             fresh = self.inner.estimate_batch(queries.select(missing))
             values[missing] = fresh
-            self.cache.store_batch(queries, missing, fresh)
+            self._observe_chain()
+            if self._cacheable():
+                self.cache.store_batch(queries, missing, fresh)
         return values
 
     # ------------------------------------------------------------------
@@ -150,10 +288,13 @@ class BatchServingEngine(SelectivityEstimator):
         return self.inner.size_words()
 
     def detach_indexes(self) -> None:
-        """Remove every index this engine attached."""
+        """Remove every index this engine attached and stop attaching
+        new ones (revalidation would otherwise re-index on the next
+        serve)."""
         for bucket_est in self.indexed:
             bucket_est.attach_index(None)
         self.indexed = []
+        self.auto_index = False
 
     def __repr__(self) -> str:
         cache = (

@@ -62,6 +62,12 @@ class BucketIndex:
     grid_size:
         Cells per axis of the uniform grid.  Default: chosen from the
         bucket count so the grid has roughly ``4 × n`` cells.
+    epoch:
+        The source summary's epoch at build time.  The index itself
+        never consults it — it exists so an owner watching a live
+        summary (the serving engine's revalidation step) can tell
+        which version of the buckets this index describes and rebuild
+        when the summary moves past it.
     """
 
     def __init__(
@@ -69,11 +75,13 @@ class BucketIndex:
         buckets: Sequence[Bucket],
         *,
         grid_size: "int | None" = None,
+        epoch: int = 0,
     ) -> None:
         n = len(buckets)
         if n == 0:
             raise ValueError("cannot index an empty bucket list")
         self.n = n
+        self.epoch = epoch
         # Inflated boxes: the formula's query extension folded onto the
         # bucket side, so probing uses the *raw* query.  Degenerate
         # boxes (the kernel's raw-touch branch) are not inflated.

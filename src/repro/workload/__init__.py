@@ -1,9 +1,14 @@
-"""Query workload generators matching the paper's Section 5.2 model."""
+"""Query workload generators matching the paper's Section 5.2 model,
+plus the interleaved query/insert/delete streams used by the
+live-serving bench."""
 
 from .queries import (
     CENTER_MODES,
+    LIVE_OP_KINDS,
     PAPER_N_QUERIES,
     PAPER_QSIZES,
+    LiveOp,
+    live_workload,
     point_queries,
     range_queries,
 )
@@ -11,6 +16,9 @@ from .queries import (
 __all__ = [
     "range_queries",
     "point_queries",
+    "live_workload",
+    "LiveOp",
+    "LIVE_OP_KINDS",
     "PAPER_QSIZES",
     "PAPER_N_QUERIES",
     "CENTER_MODES",

@@ -22,7 +22,8 @@ times the corresponding MBR side, and the average area equals
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -147,3 +148,111 @@ def point_queries(
     np.clip(y, mbr.y1, mbr.y2, out=y)
     coords = np.column_stack((x, y, x, y))
     return RectSet(coords, copy=False, validate=False)
+
+
+# ----------------------------------------------------------------------
+# live (interleaved query / maintenance) workloads
+# ----------------------------------------------------------------------
+
+#: Operation kinds of a live workload, in the encoding order used by
+#: the generator's seeded draw.
+LIVE_OP_KINDS = ("query", "insert", "delete")
+
+
+@dataclass(frozen=True)
+class LiveOp:
+    """One operation of an interleaved serving/maintenance workload."""
+
+    kind: str  #: ``"query"``, ``"insert"``, or ``"delete"``
+    rect: Rect  #: the query rectangle, or the data rectangle affected
+
+
+def live_workload(
+    data: RectSet,
+    qsize: float,
+    n_ops: int,
+    *,
+    seed: SeedLike = None,
+    query_frac: float = 0.6,
+    insert_frac: float = 0.2,
+    bounds: Optional[Rect] = None,
+) -> List[LiveOp]:
+    """Generate an interleaved query/insert/delete operation stream.
+
+    Models a table serving estimates while it changes underneath:
+
+    * **queries** follow the paper's biased range-query model (centers
+      from *live* data centers, extents ``qsize`` of the MBR side) —
+      including centers of rectangles inserted earlier in the stream,
+      so the workload keeps probing where the data currently lives;
+    * **inserts** clone a random live rectangle and translate it by a
+      jitter of up to 10 % of the MBR extent (clipped to the MBR), so
+      the distribution drifts without leaving the space;
+    * **deletes** remove a rectangle chosen uniformly from the current
+      live set, so every delete hits — a
+      :class:`~repro.core.maintenance.MaintainedHistogram` replaying
+      the stream never sees a delete miss.
+
+    The generator mirrors the histogram's multiset state internally, so
+    the stream is valid (and, for a fixed seed, byte-deterministic)
+    regardless of who replays it.  Deletes are skipped — re-drawn as
+    queries — when only one live rectangle remains, so replaying can
+    never empty the data set.  The remaining probability mass
+    (``1 - query_frac - insert_frac``) is the delete fraction.
+    """
+    if len(data) == 0:
+        raise ValueError("cannot generate a workload for an empty input")
+    if not 0.0 < qsize <= 1.0:
+        raise ValueError("qsize must be in (0, 1]")
+    if n_ops < 1:
+        raise ValueError("n_ops must be at least 1")
+    delete_frac = 1.0 - query_frac - insert_frac
+    if min(query_frac, insert_frac, delete_frac) < 0.0:
+        raise ValueError(
+            "query_frac + insert_frac must be <= 1 and both >= 0"
+        )
+    gen = _as_rng(seed)
+    mbr = bounds if bounds is not None else data.mbr()
+    mean_w = qsize * mbr.width
+    mean_h = qsize * mbr.height
+
+    live: List[Tuple[float, float, float, float]] = [
+        (float(r[0]), float(r[1]), float(r[2]), float(r[3]))
+        for r in data.coords
+    ]
+    kinds = gen.choice(
+        3, size=n_ops, p=(query_frac, insert_frac, delete_frac)
+    )
+    ops: List[LiveOp] = []
+    for kind in kinds:
+        if kind == 2 and len(live) <= 1:
+            kind = 0
+        if kind == 0:
+            x1, y1, x2, y2 = live[int(gen.integers(0, len(live)))]
+            cx = (x1 + x2) / 2.0
+            cy = (y1 + y2) / 2.0
+            w = float(gen.uniform(0.5 * mean_w, 1.5 * mean_w))
+            h = float(gen.uniform(0.5 * mean_h, 1.5 * mean_h))
+            rect = Rect(
+                max(cx - w / 2.0, mbr.x1),
+                max(cy - h / 2.0, mbr.y1),
+                min(cx + w / 2.0, mbr.x2),
+                min(cy + h / 2.0, mbr.y2),
+            )
+            ops.append(LiveOp("query", rect))
+        elif kind == 1:
+            x1, y1, x2, y2 = live[int(gen.integers(0, len(live)))]
+            dx = float(gen.uniform(-0.1, 0.1)) * mbr.width
+            dy = float(gen.uniform(-0.1, 0.1)) * mbr.height
+            w = x2 - x1
+            h = y2 - y1
+            nx1 = min(max(x1 + dx, mbr.x1), mbr.x2 - w)
+            ny1 = min(max(y1 + dy, mbr.y1), mbr.y2 - h)
+            row = (nx1, ny1, nx1 + w, ny1 + h)
+            live.append(row)
+            ops.append(LiveOp("insert", Rect(*row)))
+        else:
+            pick = int(gen.integers(0, len(live)))
+            row = live.pop(pick)
+            ops.append(LiveOp("delete", Rect(*row)))
+    return ops

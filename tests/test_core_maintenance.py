@@ -107,6 +107,111 @@ class TestDriftAndRefresh:
         assert hist.estimate(Rect(0, 0, 10, 10)) == 0.0
 
 
+class TestEpoch:
+    """The staleness contract: every accepted mutation moves the
+    epoch, and nothing else does."""
+
+    def test_starts_at_zero(self, hist):
+        assert hist.epoch == 0
+
+    def test_insert_bumps(self, hist):
+        mbr = hist.current_data().mbr()
+        cx, cy = mbr.center
+        hist.insert(Rect.from_center(cx, cy, 5, 5))
+        assert hist.epoch == 1
+
+    def test_uncovered_insert_still_bumps(self, hist):
+        # the raw data changed even though no bucket did; consumers
+        # deriving from current_data() must see the move
+        hist.insert(Rect(1e6, 1e6, 1e6 + 1, 1e6 + 1))
+        assert hist.epoch == 1
+
+    def test_delete_hit_bumps_miss_does_not(
+        self, hist, small_nj_road
+    ):
+        assert not hist.delete(Rect(1e6, 1e6, 1e6 + 1, 1e6 + 1))
+        assert hist.epoch == 0
+        assert hist.delete(small_nj_road[0])
+        assert hist.epoch == 1
+
+    def test_refresh_bumps(self, hist):
+        hist.refresh()
+        assert hist.epoch == 1
+
+    def test_queries_never_bump(self, hist):
+        hist.estimate(Rect(0, 0, 100, 100))
+        hist.current_data()
+        assert hist.epoch == 0
+
+    def test_epoch_is_monotone_over_mixed_sequence(
+        self, hist, small_nj_road
+    ):
+        mbr = hist.current_data().mbr()
+        cx, cy = mbr.center
+        seen = [hist.epoch]
+        hist.insert(Rect.from_center(cx, cy, 3, 3))
+        seen.append(hist.epoch)
+        hist.delete(small_nj_road[1])
+        seen.append(hist.epoch)
+        hist.refresh()
+        seen.append(hist.epoch)
+        assert seen == sorted(seen) and len(set(seen)) == len(seen)
+
+
+class TestDeleteLastMember:
+    """Regression: removing a bucket's only rectangle must leave an
+    empty bucket (count 0, zero averages), not raise
+    ZeroDivisionError from the running-average update."""
+
+    def test_delete_only_member_of_bucket(self):
+        # two distant unit squares -> Min-Skew puts them in separate
+        # buckets, each with exactly one member
+        data = RectSet(np.array([
+            [0.0, 0.0, 1.0, 1.0],
+            [100.0, 100.0, 101.0, 101.0],
+        ]))
+        hist = MaintainedHistogram(
+            MinSkewPartitioner(2, n_regions=16), data
+        )
+        assert hist.delete(data[0])
+        counts = sorted(b.count for b in hist.buckets)
+        assert counts[0] == 0
+        empty = next(b for b in hist.buckets if b.count == 0)
+        assert empty.avg_width == 0.0
+        assert empty.avg_height == 0.0
+        assert empty.avg_density == 0.0
+        # the emptied bucket contributes nothing, the other still does
+        assert hist.estimate(Rect(0, 0, 2, 2)) == 0.0
+        assert hist.estimate(Rect(99, 99, 102, 102)) > 0.0
+
+    def test_bucket_with_deleted_guards_empty(self):
+        from repro.core.bucket import Bucket
+
+        b = Bucket(Rect(0, 0, 10, 10), 1, avg_width=2.0,
+                   avg_height=3.0, avg_density=0.04)
+        emptied = b.with_deleted(Rect(4, 4, 6, 6))
+        assert emptied.count == 0
+        assert emptied.avg_width == 0.0
+        assert emptied.avg_height == 0.0
+        # deleting from an already-empty bucket is a no-op, not an
+        # underflow
+        assert emptied.with_deleted(Rect(4, 4, 6, 6)) is emptied
+
+    def test_delete_all_members_one_by_one(self):
+        rows = np.array([
+            [float(i), 0.0, float(i) + 1.0, 1.0] for i in range(8)
+        ])
+        data = RectSet(rows)
+        hist = MaintainedHistogram(
+            MinSkewPartitioner(3, n_regions=16), data
+        )
+        for i in range(8):
+            assert hist.delete(data[i])
+        assert len(hist) == 0
+        assert all(b.count == 0 for b in hist.buckets)
+        assert hist.estimate(Rect(0, 0, 10, 10)) == 0.0
+
+
 class TestAccuracyUnderChange:
     def test_estimates_track_inserts(self):
         """After inserting a new cluster, the maintained histogram is

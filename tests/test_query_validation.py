@@ -105,6 +105,64 @@ class TestEngineValidation:
         assert np.isfinite(out).all()
 
 
+def _hostile_rect(x1, y1, x2, y2):
+    """A Rect carrying coordinates its constructor would reject.
+
+    ``Rect.__post_init__`` validates, so a NaN/inverted scalar query
+    can only reach the engine through an object that skipped it — the
+    same trust boundary a ``RectSet(validate=False)`` batch crosses.
+    """
+    from repro.geometry import Rect
+
+    rect = object.__new__(Rect)
+    object.__setattr__(rect, "x1", x1)
+    object.__setattr__(rect, "y1", y1)
+    object.__setattr__(rect, "x2", x2)
+    object.__setattr__(rect, "y2", y2)
+    return rect
+
+
+HOSTILE_SCALARS = {
+    "nan": (0.0, float("nan"), 1.0, 1.0),
+    "inf": (0.0, 0.0, float("inf"), 1.0),
+    "inverted_x": (5.0, 0.0, 1.0, 1.0),
+    "inverted_y": (0.0, 5.0, 1.0, 1.0),
+}
+
+
+class TestEngineScalarValidation:
+    """The scalar path must reject exactly what the batch path
+    rejects — before the cache sees the query (a NaN key could never
+    hit and would grow the cache forever)."""
+
+    @pytest.mark.parametrize("kind", sorted(HOSTILE_SCALARS))
+    def test_hostile_scalar_rejected(self, kind):
+        est = build_estimator("Min-Skew", DATA, 8, n_regions=100)
+        engine = BatchServingEngine(est, auto_index=False)
+        with pytest.raises(GeometryError):
+            engine.estimate(_hostile_rect(*HOSTILE_SCALARS[kind]))
+        assert len(engine.cache) == 0
+        assert engine.cache.misses == 0
+
+    @pytest.mark.parametrize("kind", sorted(HOSTILE_SCALARS))
+    def test_scalar_and_batch_paths_agree_on_rejection(self, kind):
+        est = build_estimator("Grid", DATA, 8)
+        engine = BatchServingEngine(est, auto_index=False)
+        coords = np.array([HOSTILE_SCALARS[kind]], dtype=np.float64)
+        with pytest.raises(GeometryError):
+            engine.estimate_batch(RectSet(coords, validate=False))
+        with pytest.raises(GeometryError):
+            engine.estimate(_hostile_rect(*HOSTILE_SCALARS[kind]))
+
+    def test_valid_scalar_still_served_and_cached(self):
+        est = build_estimator("Grid", DATA, 8)
+        engine = BatchServingEngine(est, auto_index=False)
+        query = next(iter(range_queries(DATA, 0.1, 1, seed=3)))
+        value = engine.estimate(query)
+        assert value == est.estimate(query)
+        assert len(engine.cache) == 1
+
+
 class TestGuardedChainValidation:
     def test_rejected_before_entering_chain(self):
         chain = build_fallback_chain(DATA, 8, n_regions=100)

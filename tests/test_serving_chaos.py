@@ -12,6 +12,7 @@ import pytest
 
 from repro.data import uniform_rects
 from repro.errors import FallbackExhaustedError
+from repro.estimators import BucketEstimator
 from repro.obs import OBS
 from repro.resilience import (
     FaultInjector,
@@ -140,18 +141,87 @@ class TestDegradedBatchServing:
 
 
 class TestCacheUnderDegradation:
-    def test_degraded_values_are_cached_consistently(
+    def test_degraded_values_are_never_cached(self, data, queries):
+        """A batch served by a fallback link must not populate the
+        cache — otherwise popular queries keep getting Sample-quality
+        answers long after the chain recovers."""
+        chain = _chain(data)
+        plan = FaultPlan(
+            0, (FaultSpec("estimator.build.Min-Skew", kind="corrupt"),)
+        )
+        first, counters, engine = _run(chain, queries, plan)
+        assert counters.get("resilience.degraded") == N_QUERIES
+        assert len(engine.cache) == 0
+
+    def test_post_recovery_answers_match_healthy_estimator(
         self, data, queries
     ):
+        """Once the injected fault clears, the very next serve answers
+        with the healthy (Min-Skew) link's values — bit-identical to a
+        chain that never failed — and only those get cached."""
         chain = _chain(data)
         plan = FaultPlan(
             0, (FaultSpec("estimator.build.Min-Skew", kind="corrupt"),)
         )
         first, _, engine = _run(chain, queries, plan)
-        # second pass: no injector installed, but the breaker/lazy
-        # build state keeps the chain serving the same link, and the
-        # cache answers everything without consulting it at all
-        hits_before = engine.cache.hits
+        # injector gone; one build failure leaves the breaker closed
+        # (threshold 3), so the chain rebuilds Min-Skew and recovers
         second = engine.estimate_batch(queries)
-        np.testing.assert_array_equal(second, first)
+        healthy = _chain(data)
+        np.testing.assert_array_equal(
+            second, healthy.estimate_batch(queries)
+        )
+        assert not np.array_equal(second, first)
+        # the recovery was a serving-link transition: the engine
+        # flushed the cache before repopulating it with healthy values
+        assert engine.cache.flushes == 1
+        hits_before = engine.cache.hits
+        third = engine.estimate_batch(queries)
+        np.testing.assert_array_equal(third, second)
         assert engine.cache.hits == hits_before + N_QUERIES
+
+
+class TestLazyLinkIndexing:
+    def test_lazily_built_link_is_indexed_on_discovery(
+        self, data, queries
+    ):
+        """Engine construction finds no built links (the chain is
+        fully lazy); the Min-Skew link built during the first serve
+        must still receive a BucketIndex on the next revalidation
+        instead of scanning every bucket forever."""
+        chain = _chain(data)
+        engine = BatchServingEngine(chain)
+        assert engine.indexed == []
+        engine.estimate_batch(queries)  # builds the Min-Skew link
+        engine.estimate(queries[0])  # revalidation discovers it
+        minskew = next(
+            link for link in chain.links if link.name == "Min-Skew"
+        ).built_estimator
+        assert isinstance(minskew, BucketEstimator)
+        assert minskew.index is not None
+        assert minskew in engine.indexed
+
+    def test_link_built_after_degradation_is_indexed(
+        self, data, queries
+    ):
+        """The satellite scenario: the chain degrades first (Min-Skew
+        unbuilt, Sample serving), then recovers — the late-built
+        Min-Skew link still gets its index, and the indexed scalar
+        path answers exactly like a healthy chain's."""
+        chain = _chain(data)
+        plan = FaultPlan(
+            0, (FaultSpec("estimator.build.Min-Skew", kind="corrupt"),)
+        )
+        engine = BatchServingEngine(chain)
+        with installed(FaultInjector(plan, clock=chain.clock)):
+            engine.estimate_batch(queries)
+        assert engine.indexed == []  # only Sample built; no buckets
+        engine.estimate_batch(queries)  # recovery: Min-Skew builds
+        engine.estimate(queries[0])  # discovery + index attach
+        minskew = next(
+            link for link in chain.links if link.name == "Min-Skew"
+        ).built_estimator
+        assert minskew is not None and minskew.index is not None
+        healthy = _chain(data)
+        for q in list(queries)[:10]:
+            assert engine.estimate(q) == healthy.estimate(q)
