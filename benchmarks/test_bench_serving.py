@@ -1,11 +1,15 @@
-"""Smoke test for the batch-serving benchmark path.
+"""Smoke test for the batch- and sharded-serving benchmark paths.
 
 Runs a tiny ``engine="batch"`` benchmark end to end and checks the
 promises CI gates on: the artifact is schema-valid, every technique's
 vectorised kernel is at least as fast as the scalar loop
 (``speedup >= 1.0``), and the batch/engine answers match the scalar
-loop bit for bit (``scalar_matches``).  Also validates the committed
-``BENCH_serving.json`` baseline when present.
+loop bit for bit (``scalar_matches``).  A second tiny
+``engine="sharded"`` run checks the scatter-gather tier: every cell's
+router answer matches the single-engine union reference bit for bit
+(``sharded_matches``) and the live mutation stream invalidates only
+the owning shard (``owner_only_invalidation``).  Also validates the
+committed ``BENCH_serving.json`` baseline (now sharded) when present.
 """
 
 import json
@@ -14,7 +18,7 @@ from pathlib import Path
 import pytest
 
 from repro.cli import main as cli_main
-from repro.eval import ALL_TECHNIQUES
+from repro.eval import ALL_TECHNIQUES, BUCKET_TECHNIQUES
 from repro.obs.bench import BenchConfig, write_bench
 from repro.obs.schema import validate_bench
 
@@ -27,6 +31,18 @@ SERVING_SMOKE = BenchConfig(
     engine="batch",
 )
 
+SHARDED_SMOKE = BenchConfig(
+    name="sharded_smoke",
+    datasets=(("charminar", 1_500),),
+    n_buckets=16,
+    n_regions=256,
+    n_queries=300,
+    techniques=tuple(BUCKET_TECHNIQUES),
+    engine="sharded",
+    n_shards=3,
+    live_ops=120,
+)
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
@@ -34,6 +50,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 def serving_run(tmp_path_factory):
     out_dir = tmp_path_factory.mktemp("bench_serving")
     doc, path = write_bench(SERVING_SMOKE, out_dir)
+    return doc, path
+
+
+@pytest.fixture(scope="module")
+def sharded_run(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("bench_sharded")
+    doc, path = write_bench(SHARDED_SMOKE, out_dir)
     return doc, path
 
 
@@ -76,17 +99,75 @@ def test_batch_answers_match_scalar_exactly(serving_run):
         )
 
 
+def test_sharded_artifact_schema_valid(sharded_run):
+    doc, path = sharded_run
+    assert path.name == "BENCH_sharded_smoke.json"
+    on_disk = json.loads(path.read_text())
+    validate_bench(on_disk)
+    assert on_disk["config"]["engine"] == "sharded"
+    assert on_disk["config"]["n_shards"] == 3
+
+
+def test_sharded_answers_match_union_exactly(sharded_run):
+    # the CI differential gate: the router's scatter-gather answer
+    # must equal the single-engine union reference bit for bit, both
+    # on the initial batch and after replaying the mutation stream
+    doc, _ = sharded_run
+    for entry in doc["datasets"][0]["techniques"]:
+        shard = entry["sharded"]
+        assert shard["sharded_matches"] is True, (
+            f"{entry['technique']}: sharded answer diverged from the "
+            f"single-engine reference"
+        )
+
+
+def test_sharded_fanout_accounting_is_sane(sharded_run):
+    doc, _ = sharded_run
+    n_queries = SHARDED_SMOKE.n_queries
+    for entry in doc["datasets"][0]["techniques"]:
+        shard = entry["sharded"]
+        assert shard["n_shards"] == 3
+        assert len(shard["shard_sizes"]) == 3
+        # sizes are sampled after the live replay, so the total is
+        # the seed size shifted by the stream's net insert/delete mix
+        assert abs(sum(shard["shard_sizes"]) - 1_500) \
+            <= shard["mutations"]
+        assert len(shard["shard_buckets"]) == 3
+        # every query reaches at least one shard, never more than K
+        assert n_queries <= shard["subqueries"] <= n_queries * 3
+        assert shard["avg_shards_per_query"] == pytest.approx(
+            shard["subqueries"] / n_queries
+        )
+        assert 0.0 < shard["fanout_rate"] <= 1.0
+
+
+def test_sharded_mutations_stay_owner_only(sharded_run):
+    doc, _ = sharded_run
+    for entry in doc["datasets"][0]["techniques"]:
+        shard = entry["sharded"]
+        assert shard["ops"] == SHARDED_SMOKE.live_ops
+        assert shard["mutations"] > 0
+        assert shard["routed_mutations"] == shard["mutations"]
+        assert shard["owner_only_invalidation"] is True, (
+            f"{entry['technique']}: a mutation invalidated a shard "
+            f"that does not own it"
+        )
+        assert len(shard["shard_epoch_bumps"]) == 3
+
+
 def test_committed_baseline_is_valid_when_present():
     baseline = REPO_ROOT / "BENCH_serving.json"
     if not baseline.exists():
         pytest.skip("no committed serving baseline")
     doc = json.loads(baseline.read_text())
     validate_bench(doc)
-    assert doc["config"]["engine"] == "batch"
+    assert doc["config"]["engine"] == "sharded"
+    assert doc["config"]["techniques"] == list(BUCKET_TECHNIQUES)
     for dataset in doc["datasets"]:
         for entry in dataset["techniques"]:
-            assert entry["speedup"] >= 1.0
-            assert entry["scalar_matches"] is True
+            shard = entry["sharded"]
+            assert shard["sharded_matches"] is True
+            assert shard["owner_only_invalidation"] is True
 
 
 def test_cli_serving_preset(tmp_path, capsys):
@@ -109,3 +190,53 @@ def test_cli_serving_preset(tmp_path, capsys):
     doc = json.loads((tmp_path / "BENCH_cli_serving.json").read_text())
     validate_bench(doc)
     assert doc["config"]["engine"] == "batch"
+
+
+def test_cli_sharded_engine(tmp_path, capsys):
+    rc = cli_main(
+        [
+            "bench",
+            "--quick",
+            "--engine", "sharded",
+            "--name", "cli_sharded",
+            "--out", str(tmp_path),
+            "--datasets", "charminar:800",
+            "--buckets", "12",
+            "--regions", "144",
+            "--queries", "100",
+            "--shards", "2",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "shards=2" in out
+    assert "SHARD-MISMATCH" not in out
+    doc = json.loads((tmp_path / "BENCH_cli_sharded.json").read_text())
+    validate_bench(doc)
+    assert doc["config"]["engine"] == "sharded"
+    # the CLI drops non-bucket techniques for the sharded engine
+    assert doc["config"]["techniques"] == list(BUCKET_TECHNIQUES)
+
+
+def test_cli_serve_live_sharded(tmp_path, capsys):
+    rc = cli_main(
+        [
+            "serve-live",
+            "--name", "cli_slive",
+            "--out", str(tmp_path),
+            "--dataset", "charminar:800",
+            "--buckets", "12",
+            "--regions", "144",
+            "--queries", "100",
+            "--ops", "60",
+            "--sharded", "2",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "epoch-bumps=[" in out
+    assert "SHARD-MISMATCH" not in out
+    assert "CROSS-SHARD-INVALIDATION" not in out
+    doc = json.loads((tmp_path / "BENCH_cli_slive.json").read_text())
+    validate_bench(doc)
+    assert doc["config"]["engine"] == "sharded"

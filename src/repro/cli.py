@@ -244,6 +244,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.workers < 1:
             raise SystemExit("--workers must be >= 1")
         changes["workers"] = args.workers
+    if args.shards is not None:
+        if args.shards < 1:
+            raise SystemExit("--shards must be >= 1")
+        changes["n_shards"] = args.shards
+    if args.shard_workers is not None:
+        if args.shard_workers < 1:
+            raise SystemExit("--shard-workers must be >= 1")
+        changes["shard_workers"] = args.shard_workers
     if args.datasets:
         pairs = []
         for spec in args.datasets.split(","):
@@ -266,6 +274,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     if changes:
         config = config.replace(**changes)
+    if config.engine == "sharded":
+        from .eval import BUCKET_TECHNIQUES
+        kept = tuple(t for t in config.techniques
+                     if t in BUCKET_TECHNIQUES)
+        if not kept:
+            raise SystemExit(
+                "engine='sharded' needs at least one bucket-based "
+                f"technique; choose from {BUCKET_TECHNIQUES}"
+            )
+        if kept != config.techniques:
+            config = config.replace(techniques=kept)
 
     doc, path = write_bench(
         config,
@@ -298,6 +317,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 )
                 if not tech.get("scalar_matches", True):
                     line += " MISMATCH"
+            if "sharded" in tech:
+                shard = tech["sharded"]
+                line += (
+                    f" shards={shard['n_shards']} "
+                    f"fanout={shard['avg_shards_per_query']:.2f}/q"
+                )
+                if not shard["sharded_matches"]:
+                    line += " SHARD-MISMATCH"
+                if not shard["owner_only_invalidation"]:
+                    line += " CROSS-SHARD-INVALIDATION"
             print(line)
     print(f"wrote {path}")
     return 0
@@ -322,6 +351,15 @@ def _cmd_serve_live(args: argparse.Namespace) -> int:
         changes["live_ops"] = args.ops
     if args.seed is not None:
         changes["live_seed"] = args.seed
+    if args.sharded is not None:
+        if args.sharded < 1:
+            raise SystemExit("--sharded must be >= 1")
+        changes["engine"] = "sharded"
+        changes["n_shards"] = args.sharded
+    if args.shard_workers is not None:
+        if args.shard_workers < 1:
+            raise SystemExit("--shard-workers must be >= 1")
+        changes["shard_workers"] = args.shard_workers
     if args.dataset is not None:
         name, _, size = args.dataset.partition(":")
         if name not in dataset_names():
@@ -350,8 +388,30 @@ def _cmd_serve_live(args: argparse.Namespace) -> int:
     for ds in doc["datasets"]:
         print(f"## {ds['dataset']} n={ds['n']}")
         for tech in ds["techniques"]:
-            live = tech["live"]
             acc = tech["accuracy"]
+            if "sharded" in tech:
+                shard = tech["sharded"]
+                bumps = ",".join(
+                    str(b) for b in shard["shard_epoch_bumps"]
+                )
+                line = (
+                    f"{tech['technique']:11s} "
+                    f"ops={shard['ops']:5d} "
+                    f"mutations={shard['mutations']:4d} "
+                    f"shards={shard['n_shards']} "
+                    f"epoch-bumps=[{bumps}] "
+                    f"fanout={shard['avg_shards_per_query']:.2f}/q "
+                    f"ARE={acc['average_relative_error']:7.3f}"
+                )
+                if not shard["sharded_matches"]:
+                    line += " SHARD-MISMATCH"
+                    consistent = False
+                if not shard["owner_only_invalidation"]:
+                    line += " CROSS-SHARD-INVALIDATION"
+                    consistent = False
+                print(line)
+                continue
+            live = tech["live"]
             line = (
                 f"{tech['technique']:11s} "
                 f"ops={live['ops']:5d} "
@@ -368,7 +428,11 @@ def _cmd_serve_live(args: argparse.Namespace) -> int:
             print(line)
     print(f"wrote {path}")
     if not consistent:
-        print("epoch consistency violated: served answers differ from "
+        print("serving consistency violated: sharded answers diverged "
+              "from the single-engine reference or a mutation "
+              "invalidated a non-owning shard"
+              if config.engine == "sharded" else
+              "epoch consistency violated: served answers differ from "
               "a freshly built engine", file=sys.stderr)
         return 1
     return 0
@@ -545,21 +609,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mode.add_argument(
         "--serving", action="store_true",
-        help="serving-engine workload: 10k queries through the batch "
-             "engine, scalar loop timed alongside for the speedup",
+        help="serving-tier workload: 10k queries through the sharded "
+             "scatter-gather router, differentially gated bit-for-bit "
+             "against the single-engine union reference",
     )
     p.add_argument("--name", default=None,
                    help="artifact name (BENCH_<name>.json)")
     p.add_argument(
-        "--engine", default=None, choices=("scalar", "batch"),
-        help="estimation path: plain per-technique batch call, or the "
+        "--engine", default=None,
+        choices=("scalar", "batch", "sharded"),
+        help="estimation path: plain per-technique batch call, the "
              "serving engine with cache+index and a measured speedup "
-             "vs the scalar loop",
+             "vs the scalar loop, or the sharded scatter-gather "
+             "router gated against the single-engine reference",
     )
     p.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="worker processes for the per-technique bench cells "
              "(default: 1, in-process)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="shard count of the scatter-gather tier "
+             "(engine=sharded; default: 4)",
+    )
+    p.add_argument(
+        "--shard-workers", type=int, default=None, metavar="N",
+        help="router worker processes for the sharded tier "
+             "(default: 1, inline)",
     )
     p.add_argument("--out", default=".",
                    help="output directory (default: current directory)")
@@ -602,6 +679,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="length of the interleaved operation stream")
     p.add_argument("--seed", type=int, default=None,
                    help="seed of the interleaved stream")
+    p.add_argument(
+        "--sharded", type=int, default=None, metavar="K",
+        help="serve through the K-shard scatter-gather tier instead "
+             "of a single engine; fails on any bit-for-bit mismatch "
+             "with the union reference or any cross-shard "
+             "invalidation",
+    )
+    p.add_argument(
+        "--shard-workers", type=int, default=None, metavar="N",
+        help="router worker processes for --sharded "
+             "(default: 1, inline)",
+    )
     p.add_argument("--out", default=".",
                    help="output directory (default: current directory)")
     p.add_argument(

@@ -51,6 +51,7 @@ from ..geometry import RectSet
 from ..data import make_dataset
 from ..eval import (
     ALL_TECHNIQUES,
+    BUCKET_TECHNIQUES,
     ExperimentRunner,
     build_estimator,
     build_partitioner,
@@ -97,11 +98,16 @@ class BenchConfig:
     #: one-query-at-a-time loop, recording the speedup per technique;
     #: ``"live"`` replays an interleaved query/insert/delete stream
     #: against a maintained histogram served through the engine and
-    #: checks the staleness contract (see ``live_matches``).
+    #: checks the staleness contract (see ``live_matches``);
+    #: ``"sharded"`` serves through the scatter-gather
+    #: :class:`repro.serving.ShardRouter` over ``n_shards`` Min-Skew
+    #: shard boxes and differentially gates the answers against the
+    #: single-engine union reference (see ``sharded_matches``).
     engine: str = "scalar"
     #: Worker processes for the per-technique cells (1 = in-process).
     workers: int = 1
-    #: Length of the interleaved maintenance stream (``engine="live"``).
+    #: Length of the interleaved maintenance stream (``engine="live"``
+    #: and ``engine="sharded"``).
     live_ops: int = 0
     #: Seed of the interleaved stream.
     live_seed: int = 43
@@ -109,6 +115,10 @@ class BenchConfig:
     #: the default stream actually triggers refreshes (full summary
     #: rebuilds), so the bench exercises every epoch-bump source.
     live_drift: float = 0.02
+    #: Shard count of the scatter-gather tier (``engine="sharded"``).
+    n_shards: int = 4
+    #: Router worker processes for the sharded tier (1 = inline).
+    shard_workers: int = 1
 
     def replace(self, **changes: Any) -> "BenchConfig":
         from dataclasses import replace
@@ -134,17 +144,22 @@ FULL_CONFIG = BenchConfig(
     n_queries=1_000,
 )
 
-#: The serving-engine regression workload: the paper's 10 000-query
-#: Charminar workload served through the batch engine, with the scalar
-#: one-query-at-a-time loop timed alongside so CI can assert the
-#: vectorised path's speedup stays >= 1.
+#: The serving-tier regression workload: the paper's 10 000-query
+#: Charminar workload served through the sharded scatter-gather tier
+#: (every bucket technique, Min-Skew shard boundaries), differentially
+#: gated bit-for-bit against the single-engine union reference, plus a
+#: live mutation stream checking that each mutation invalidates only
+#: the owning shard.
 SERVING_CONFIG = BenchConfig(
     name="serving",
     datasets=(("charminar", 6_000),),
     n_buckets=40,
     n_regions=10_000,
     n_queries=10_000,
-    engine="batch",
+    techniques=tuple(BUCKET_TECHNIQUES),
+    engine="sharded",
+    live_ops=500,
+    n_shards=4,
 )
 
 #: The live-serving regression workload: each bucket technique is kept
@@ -254,7 +269,153 @@ def _scrub_cell(cell: Dict[str, Any]) -> Dict[str, Any]:
     metrics = cell.get("metrics")
     if isinstance(metrics, dict):
         metrics["timers"] = {}
+    sharded = cell.get("sharded")
+    if isinstance(sharded, dict):
+        sharded["single_engine_seconds"] = 0.0
+        sharded["replay_seconds"] = 0.0
     return cell
+
+
+def _bench_sharded_technique(
+    technique: str,
+    data: "RectSet",
+    queries: "RectSet",
+    truth: "npt.NDArray[np.float64]",
+    config: BenchConfig,
+) -> Dict[str, Any]:
+    """One technique's sharded scatter-gather cell.
+
+    The technique's partitioner runs once per shard (the bucket budget
+    is apportioned by :func:`repro.serving.shard_quotas`); the query
+    workload is served through a :class:`~repro.serving.ShardRouter`
+    and differentially gated bit-for-bit against the
+    :class:`~repro.serving.ShardUnionEstimator` single-engine
+    reference (``sharded.sharded_matches``).  With ``config.live_ops``
+    set, an interleaved mutation stream is then routed through the
+    router and the cell records whether every mutation moved the
+    owning shard's epoch *only*
+    (``sharded.owner_only_invalidation``) — followed by a second
+    differential gate over the post-stream state.
+    """
+    from ..serving import ShardedHistogram, ShardRouter
+
+    OBS.reset()
+    start = time.perf_counter()
+    sharded = ShardedHistogram.build(
+        data,
+        n_shards=config.n_shards,
+        n_buckets=config.n_buckets,
+        partitioner_factory=lambda quota: build_partitioner(
+            technique, quota, n_regions=config.n_regions
+        ),
+        n_regions=config.n_regions,
+    )
+    build_seconds = time.perf_counter() - start
+
+    router = ShardRouter(sharded, workers=config.shard_workers)
+    try:
+        start = time.perf_counter()
+        served = router.estimate_batch(queries)
+        estimate_seconds = time.perf_counter() - start
+        serve_counters = dict(OBS.snapshot()["counters"])
+
+        union = sharded.union_estimator()
+        start = time.perf_counter()
+        reference = union.estimate_batch(queries)
+        single_engine_seconds = time.perf_counter() - start
+        sharded_matches = bool(np.array_equal(served, reference))
+
+        mutations = 0
+        owner_only = True
+        n_ops = 0
+        replay_seconds = 0.0
+        if config.live_ops > 0:
+            ops = live_workload(
+                data, config.qsize, config.live_ops,
+                seed=config.live_seed,
+            )
+            n_ops = len(ops)
+            start = time.perf_counter()
+            for op in ops:
+                if op.kind == "query":
+                    router.estimate(op.rect)
+                    continue
+                before = sharded.epochs()
+                if op.kind == "insert":
+                    sid = router.insert(op.rect)
+                    moved = True
+                else:
+                    sid, moved = router.delete(op.rect)
+                mutations += 1
+                after = sharded.epochs()
+                for i, (b, a) in enumerate(zip(before, after)):
+                    if (a != b) != (i == sid and moved):
+                        owner_only = False
+            replay_seconds = time.perf_counter() - start
+            post = router.estimate_batch(queries)
+            sharded_matches = sharded_matches and bool(
+                np.array_equal(post, union.estimate_batch(queries))
+            )
+        size_words = int(router.size_words())
+        shard_sizes = [len(s) for s in sharded.shards]
+        shard_buckets = [len(s.buckets) for s in sharded.shards]
+    finally:
+        router.close()
+
+    n_queries = len(queries)
+    fanout = int(serve_counters.get("serving.shard.fanout", 0))
+    skipped = int(serve_counters.get("serving.shard.skipped", 0))
+    subqueries = int(
+        serve_counters.get("serving.shard.subqueries", 0)
+    )
+    summary = error_summary(truth, served)
+    snapshot = OBS.snapshot()
+    counters = snapshot["counters"]
+    return {
+        "technique": technique,
+        "build_seconds": build_seconds,
+        "estimate_seconds": estimate_seconds,
+        "size_words": size_words,
+        "accuracy": {
+            "average_relative_error": summary.average_relative_error,
+            "mean_per_query_error": summary.mean_per_query_error,
+            "median_per_query_error": summary.median_per_query_error,
+            "rmse": summary.rmse,
+            "n_queries": summary.n_queries,
+        },
+        "metrics": snapshot,
+        "sharded": {
+            "n_shards": int(sharded.n_shards),
+            "workers": int(config.shard_workers),
+            "shard_sizes": shard_sizes,
+            "shard_buckets": shard_buckets,
+            "fanout": fanout,
+            "skipped": skipped,
+            "subqueries": subqueries,
+            "fanout_rate": (
+                subqueries / (n_queries * sharded.n_shards)
+                if n_queries else 0.0
+            ),
+            "avg_shards_per_query": (
+                subqueries / n_queries if n_queries else 0.0
+            ),
+            "single_engine_seconds": single_engine_seconds,
+            "replay_seconds": replay_seconds,
+            "ops": n_ops,
+            "mutations": mutations,
+            "owner_only_invalidation": owner_only,
+            "shard_epoch_bumps": [
+                int(counters.get(
+                    f"serving.shard.epoch_bumps.s{i}", 0
+                ))
+                for i in range(sharded.n_shards)
+            ],
+            "routed_mutations": int(
+                counters.get("serving.shard.routed_mutations", 0)
+            ),
+            "sharded_matches": sharded_matches,
+        },
+    }
 
 
 def _bench_live_technique(
@@ -391,6 +552,10 @@ def _bench_technique(
     """
     if config.engine == "live":
         return _bench_live_technique(technique, data, queries, config)
+    if config.engine == "sharded":
+        return _bench_sharded_technique(
+            technique, data, queries, truth, config
+        )
     OBS.reset()
     start = time.perf_counter()
     estimator = build_estimator(
@@ -575,6 +740,8 @@ def run_bench(
                 "live_ops": config.live_ops,
                 "live_seed": config.live_seed,
                 "live_drift": config.live_drift,
+                "n_shards": config.n_shards,
+                "shard_workers": config.shard_workers,
                 "deterministic": deterministic,
             }
         )
@@ -615,6 +782,8 @@ def run_bench(
             "live_ops": config.live_ops,
             "live_seed": config.live_seed,
             "live_drift": config.live_drift,
+            "n_shards": config.n_shards,
+            "shard_workers": config.shard_workers,
         },
         "environment": {
             "python": sys.version.split()[0],

@@ -99,6 +99,53 @@ _LIVE_SCHEMA = {
     },
 }
 
+_INT_LIST_SCHEMA = {
+    "type": "array",
+    "items": {"type": "integer", "minimum": 0},
+}
+
+_SHARDED_SCHEMA = {
+    "type": "object",
+    "required": [
+        "n_shards",
+        "workers",
+        "shard_sizes",
+        "shard_buckets",
+        "fanout",
+        "skipped",
+        "subqueries",
+        "fanout_rate",
+        "avg_shards_per_query",
+        "single_engine_seconds",
+        "replay_seconds",
+        "ops",
+        "mutations",
+        "owner_only_invalidation",
+        "shard_epoch_bumps",
+        "routed_mutations",
+        "sharded_matches",
+    ],
+    "properties": {
+        "n_shards": {"type": "integer", "minimum": 1},
+        "workers": {"type": "integer", "minimum": 1},
+        "shard_sizes": _INT_LIST_SCHEMA,
+        "shard_buckets": _INT_LIST_SCHEMA,
+        "fanout": {"type": "integer", "minimum": 0},
+        "skipped": {"type": "integer", "minimum": 0},
+        "subqueries": {"type": "integer", "minimum": 0},
+        "fanout_rate": {"type": "number", "minimum": 0},
+        "avg_shards_per_query": {"type": "number", "minimum": 0},
+        "single_engine_seconds": {"type": "number", "minimum": 0},
+        "replay_seconds": {"type": "number", "minimum": 0},
+        "ops": {"type": "integer", "minimum": 0},
+        "mutations": {"type": "integer", "minimum": 0},
+        "owner_only_invalidation": {"type": "boolean"},
+        "shard_epoch_bumps": _INT_LIST_SCHEMA,
+        "routed_mutations": {"type": "integer", "minimum": 0},
+        "sharded_matches": {"type": "boolean"},
+    },
+}
+
 _TECHNIQUE_SCHEMA = {
     "type": "object",
     "required": [
@@ -125,6 +172,10 @@ _TECHNIQUE_SCHEMA = {
         # optional live-serving fields (present when the bench ran
         # with engine="live")
         "live": _LIVE_SCHEMA,
+        # optional sharded scatter-gather fields (present when the
+        # bench ran with engine="sharded"): shard layout, fan-out
+        # accounting, and the bit-for-bit differential gate
+        "sharded": _SHARDED_SCHEMA,
     },
 }
 

@@ -16,18 +16,34 @@ fast without changing a single answer:
 * :func:`parallel_map` — a deterministic chunked
   ``ProcessPoolExecutor`` mapper (order-preserving, metrics-merging)
   used by :meth:`repro.eval.ExperimentRunner.evaluate_sweep` and the
-  bench harness to parallelise sweeps across techniques and datasets.
+  bench harness to parallelise sweeps across techniques and datasets;
+* the **sharded scatter-gather tier** — :class:`ShardPlan` (Min-Skew
+  as the shard-boundary algorithm), :class:`ShardedHistogram` (one
+  live histogram + engine per shard, independent epochs),
+  :class:`ShardRouter` (clip, fan out inline or over a
+  :class:`ShardWorkerPool` of pinned workers, sum partials), and
+  :class:`ShardUnionEstimator` (the single-engine differential
+  reference).
 
 The serving fast paths are locked down by a differential test suite:
 batch equals the scalar loop to exact float equality, cache-on equals
-cache-off, and a ``workers=4`` sweep is byte-identical to
-``workers=1``.
+cache-off, a ``workers=4`` sweep is byte-identical to ``workers=1``,
+and the sharded tier's answers equal the single-engine reference
+bit-for-bit.
 """
 
 from .cache import QueryCache, canonical_key
 from .engine import BatchServingEngine
 from .index import BucketIndex
-from .parallel import parallel_map
+from .parallel import ShardWorkerPool, parallel_map
+from .router import ShardRouter
+from .shard import (
+    HistogramShard,
+    ShardedHistogram,
+    ShardPlan,
+    ShardUnionEstimator,
+    shard_quotas,
+)
 
 __all__ = [
     "QueryCache",
@@ -35,4 +51,11 @@ __all__ = [
     "BucketIndex",
     "BatchServingEngine",
     "parallel_map",
+    "ShardWorkerPool",
+    "ShardPlan",
+    "HistogramShard",
+    "ShardedHistogram",
+    "ShardUnionEstimator",
+    "ShardRouter",
+    "shard_quotas",
 ]

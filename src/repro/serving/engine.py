@@ -59,7 +59,7 @@ reach it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 import numpy.typing as npt
@@ -280,6 +280,36 @@ class BatchServingEngine(SelectivityEstimator):
             if self._cacheable():
                 self.cache.store_batch(queries, missing, fresh)
         return values
+
+    # ------------------------------------------------------------------
+    # pickling: epoch bookkeeping must survive a process boundary
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        """Serialise ``_observed`` as (estimator, epoch) pairs.
+
+        The dict is keyed by ``id(est)``, and object ids do not
+        survive pickling: an engine unpickled into a pool worker with
+        the id-keyed dict intact would treat every estimator as newly
+        discovered, record its *current* epoch without flushing, and
+        happily serve whatever the pickled cache held — answers from
+        before any mutation that happened between cache population
+        and the pickle.  Shipping the pairs and re-keying on load
+        keeps epoch-movement detection (and the cache flush it
+        triggers) intact across the boundary.
+        """
+        state = self.__dict__.copy()
+        state["_observed"] = list(self._observed.values())
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        observed = state.pop("_observed")
+        self.__dict__.update(state)
+        # pickle's memo preserves object identity within one payload,
+        # so these are the same estimator objects reachable through
+        # ``inner`` — re-keying by their new ids reconnects them.
+        self._observed = {
+            id(est): (est, epoch) for est, epoch in observed
+        }
 
     # ------------------------------------------------------------------
     def size_words(self) -> int:

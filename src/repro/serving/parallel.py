@@ -1,4 +1,4 @@
-"""Deterministic chunked process-pool mapping.
+"""Deterministic process pools: chunked mapping and pinned shards.
 
 ``parallel_map(func, items, workers=N)`` behaves exactly like
 ``[func(x) for x in items]`` — same results, same order — but fans the
@@ -21,16 +21,31 @@ which is also the fallback the callers use on single-CPU boxes.
 
 ``func`` (and every item/result) must be picklable: define workers at
 module level, not as closures or lambdas.
+
+:class:`ShardWorkerPool` extends the same determinism discipline to
+*stateful* workers.  A ``ProcessPoolExecutor`` cannot pin state to a
+specific worker (any worker may pick up any task), so the pool runs
+one long-lived ``multiprocessing.Process`` per slot, connected by a
+pipe.  Each shard object is explicitly ``pickle.dumps``-ed to its
+worker at startup — never smuggled in through a fork snapshot — so
+whatever state survives pickling is exactly the state that serves
+(the engine's ``__getstate__`` regression tests ride on this).
+Replies are received in request order over per-worker FIFO pipes, and
+worker metric snapshots are merged in that same order, so results and
+counter totals are independent of scheduling.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import pickle
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from multiprocessing.connection import Connection
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
 
 from ..obs import OBS
 
-__all__ = ["parallel_map"]
+__all__ = ["parallel_map", "ShardWorkerPool"]
 
 
 def _run_chunk(
@@ -99,3 +114,201 @@ def parallel_map(
             if collect_obs:
                 OBS.merge_snapshot(snapshot)
     return results
+
+
+# ----------------------------------------------------------------------
+# pinned stateful workers (the sharded serving tier's pool)
+# ----------------------------------------------------------------------
+
+#: Pool request: ``(kind, shard_id, method, args, collect_obs)``.
+_Request = Tuple[str, int, str, Tuple[Any, ...], bool]
+
+
+def _shard_worker_main(
+    conn: Connection, payloads: Dict[int, bytes]
+) -> None:
+    """One pool worker: unpickle its shards, answer pipe requests.
+
+    The registry is reset up front (a ``fork`` child inherits the
+    parent's collected metrics; merging them back would double-count)
+    and re-enabled per request according to the parent's flag, so a
+    request served while the parent collects contributes exactly its
+    own counters and nothing else.
+
+    ``call`` requests reply ``(result, snapshot, error)``; ``cast``
+    requests (mutations) do not reply — pipe FIFO ordering guarantees
+    any later call observes them — and never collect metrics, because
+    the parent applies the same mutation to its own copy and already
+    counted it.  A failing request is shipped back as an error string
+    instead of killing the worker.
+    """
+    OBS.reset()
+    OBS.disable()
+    shards = {
+        sid: pickle.loads(blob) for sid, blob in payloads.items()
+    }
+    collecting = False
+    pending_error: "str | None" = None
+    while True:
+        message: "_Request | None" = conn.recv()
+        if message is None:
+            break
+        kind, sid, method, args, collect = message
+        if collect != collecting:
+            OBS.reset()
+            OBS.enable(collect)
+            collecting = collect
+        result: Any = None
+        error: "str | None" = pending_error
+        pending_error = None
+        if error is None:
+            try:
+                result = getattr(shards[sid], method)(*args)
+            except Exception as exc:  # noqa: BLE001 — shipped back
+                error = f"{type(exc).__name__}: {exc}"
+        if kind == "call":
+            snapshot = OBS.snapshot() if collecting else None
+            if collecting:
+                OBS.reset()
+                OBS.enable(True)
+            conn.send((result, snapshot, error))
+        elif error is not None:
+            # a failed cast surfaces on the next call
+            pending_error = error
+    conn.close()
+
+
+class ShardWorkerPool:
+    """Long-lived workers, each pinned to a fixed set of shards.
+
+    Parameters
+    ----------
+    shards:
+        Mapping of shard id → shard object.  Each object is pickled
+        to its worker at startup; shard ``i`` (in ascending id order)
+        lives on worker ``i % workers`` forever after.
+    workers:
+        Process count (clamped to the shard count).
+    """
+
+    def __init__(
+        self, shards: Mapping[int, Any], *, workers: int
+    ) -> None:
+        ids = sorted(shards)
+        if not ids:
+            raise ValueError("cannot pool zero shards")
+        self.workers = max(1, min(workers, len(ids)))
+        self._worker_of = {
+            sid: i % self.workers for i, sid in enumerate(ids)
+        }
+        payloads: List[Dict[int, bytes]] = [
+            {} for _ in range(self.workers)
+        ]
+        for sid in ids:
+            payloads[self._worker_of[sid]][sid] = pickle.dumps(
+                shards[sid]
+            )
+        ctx = multiprocessing.get_context()
+        self._conns: List[Connection] = []
+        self._procs: List[multiprocessing.process.BaseProcess] = []
+        for w in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker_main,
+                args=(child_conn, payloads[w]),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    # ------------------------------------------------------------------
+    def worker_of(self, shard_id: int) -> int:
+        """Index of the worker pinned to ``shard_id``."""
+        return self._worker_of[shard_id]
+
+    def call_many(
+        self,
+        requests: Sequence[Tuple[int, str, Tuple[Any, ...]]],
+    ) -> List[Any]:
+        """Run ``(shard_id, method, args)`` requests; ordered results.
+
+        All requests are sent before any reply is read, so workers
+        serve disjoint shards concurrently; replies are gathered in
+        request order (per-worker pipes are FIFO), and worker metric
+        snapshots are merged in that same order — results and counter
+        totals match an inline serve exactly.
+        """
+        if self._conns is None:
+            raise RuntimeError("pool is closed")
+        collect = OBS.enabled
+        for sid, method, args in requests:
+            self._conns[self._worker_of[sid]].send(
+                ("call", sid, method, tuple(args), collect)
+            )
+        results: List[Any] = []
+        for sid, _method, _args in requests:
+            reply = self._conns[self._worker_of[sid]].recv()
+            result, snapshot, error = reply
+            if error is not None:
+                raise RuntimeError(
+                    f"shard worker for shard {sid} failed: {error}"
+                )
+            if collect and snapshot:
+                OBS.merge_snapshot(snapshot)
+            results.append(result)
+        return results
+
+    def call(
+        self, shard_id: int, method: str, *args: Any
+    ) -> Any:
+        """One request to one shard (see :meth:`call_many`)."""
+        return self.call_many([(shard_id, method, args)])[0]
+
+    def cast(
+        self,
+        shard_id: int,
+        method: str,
+        args: Tuple[Any, ...] = (),
+    ) -> None:
+        """Fire-and-forget request (mutations).  No reply, no
+        metrics: the caller already applied — and counted — the same
+        operation on its own copy of the shard."""
+        if self._conns is None:
+            raise RuntimeError("pool is closed")
+        self._conns[self._worker_of[shard_id]].send(
+            ("cast", shard_id, method, tuple(args), False)
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop every worker and release the pipes (idempotent)."""
+        if self._conns is None:
+            return
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+        for conn in self._conns:
+            conn.close()
+        self._conns = None  # type: ignore[assignment]
+        self._procs = []
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._conns is None else "open"
+        return (
+            f"ShardWorkerPool(workers={self.workers}, "
+            f"shards={len(self._worker_of)}, {state})"
+        )

@@ -1,0 +1,267 @@
+"""Scatter-gather routing over a :class:`ShardedHistogram`.
+
+:class:`ShardRouter` is the serving front of the sharded tier.  For a
+query batch it
+
+1. refreshes its view of every shard's epoch (counting per-shard
+   bumps — the observability hook the invalidation tests assert on);
+2. intersects the batch against each shard's *routing box* (the
+   inflated-bucket MBR, see :mod:`repro.serving.shard`), skipping
+   shards no query can touch;
+3. clips each sub-batch to the routing box and fans it out — inline
+   for ``workers <= 1``, over the long-lived deterministic
+   :class:`~repro.serving.parallel.ShardWorkerPool` otherwise;
+4. scatters the partial estimates back, accumulating in shard-id
+   order, which keeps the answer bit-identical to the
+   :class:`~repro.serving.shard.ShardUnionEstimator` single-engine
+   reference.
+
+Mutations route to the owning shard only; in pooled mode they are also
+forwarded to the worker holding that shard (the parent keeps an
+authoritative copy for routing boxes and ownership, the worker holds
+the serving state — both replay the identical per-shard operation
+stream, so the two copies cannot diverge).
+
+Counters (``serving.shard.*``): ``requests``, ``queries``, ``fanout``
+(shard dispatches), ``subqueries`` (routed query rows), ``skipped``
+(shards not consulted), ``epoch_bumps`` plus per-shard
+``epoch_bumps.s<id>``, and ``routed_mutations``.
+"""
+
+from __future__ import annotations
+
+from types import TracebackType
+from typing import Dict, List, Optional, Tuple, Type
+
+import numpy as np
+import numpy.typing as npt
+
+from ..estimators import SelectivityEstimator
+from ..geometry import Rect, RectSet, validate_coords_array, \
+    validate_extent
+from ..obs import OBS
+from .parallel import ShardWorkerPool
+from .shard import HistogramShard, ShardedHistogram
+
+__all__ = ["ShardRouter"]
+
+
+class ShardRouter(SelectivityEstimator):
+    """Routes queries and mutations across a sharded histogram.
+
+    Parameters
+    ----------
+    sharded:
+        The shard tier to serve.  The router adopts its ``name`` so
+        downstream error tables key identically.
+    workers:
+        ``<= 1`` serves every shard inline in this process;
+        otherwise shards are pickled into a
+        :class:`~repro.serving.parallel.ShardWorkerPool` of this many
+        long-lived worker processes and sub-batches are fanned out.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedHistogram,
+        *,
+        workers: int = 1,
+    ) -> None:
+        self.sharded = sharded
+        self.name = sharded.name
+        self.workers = max(1, workers)
+        self._seen_epochs: Dict[int, int] = {
+            s.shard_id: s.epoch for s in sharded.shards
+        }
+        self._pool: Optional[ShardWorkerPool] = None
+        if self.workers > 1:
+            self._pool = ShardWorkerPool(
+                {s.shard_id: s for s in sharded.shards},
+                workers=self.workers,
+            )
+
+    # ------------------------------------------------------------------
+    # epoch watching
+    # ------------------------------------------------------------------
+    def _revalidate(self) -> None:
+        """Observe per-shard epochs; refresh stale routing boxes."""
+        for shard in self.sharded.shards:
+            epoch = shard.epoch
+            if epoch != self._seen_epochs[shard.shard_id]:
+                self._seen_epochs[shard.shard_id] = epoch
+                if OBS.enabled:
+                    OBS.add("serving.shard.epoch_bumps")
+                    OBS.add(
+                        "serving.shard.epoch_bumps"
+                        f".s{shard.shard_id}"
+                    )
+            # recomputed lazily per epoch; calling it here keeps the
+            # scatter step allocation-free on the hot path
+            shard.routing_box()
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def estimate_batch(
+        self, queries: RectSet
+    ) -> "npt.NDArray[np.float64]":
+        """Scatter-gather batch serve under ``serving.shard.*``."""
+        validate_coords_array(queries.coords, what="query")
+        if OBS.enabled:
+            OBS.add("serving.shard.requests")
+            OBS.add("serving.shard.queries", len(queries))
+        with OBS.timer("serving.shard.batch"):
+            self._revalidate()
+            return self._scatter_gather(queries)
+
+    def _scatter_gather(
+        self, queries: RectSet
+    ) -> "npt.NDArray[np.float64]":
+        coords = queries.coords
+        result = np.zeros(len(queries), dtype=np.float64)
+        dispatch: List[Tuple[
+            HistogramShard,
+            "npt.NDArray[np.int64]",
+            "npt.NDArray[np.float64]",
+        ]] = []
+        skipped = 0
+        for shard in self.sharded.shards:
+            box = shard.routing_box()
+            if box is None:
+                skipped += 1
+                continue
+            mask = (
+                (coords[:, 0] <= box.x2)
+                & (coords[:, 2] >= box.x1)
+                & (coords[:, 1] <= box.y2)
+                & (coords[:, 3] >= box.y1)
+            )
+            idx = np.flatnonzero(mask).astype(np.int64)
+            if idx.size == 0:
+                skipped += 1
+                continue
+            sub = coords[idx]
+            clipped = np.empty_like(sub)
+            np.maximum(sub[:, 0], box.x1, out=clipped[:, 0])
+            np.maximum(sub[:, 1], box.y1, out=clipped[:, 1])
+            np.minimum(sub[:, 2], box.x2, out=clipped[:, 2])
+            np.minimum(sub[:, 3], box.y2, out=clipped[:, 3])
+            dispatch.append((shard, idx, clipped))
+        if OBS.enabled:
+            OBS.add("serving.shard.fanout", len(dispatch))
+            OBS.add("serving.shard.skipped", skipped)
+            OBS.add(
+                "serving.shard.subqueries",
+                sum(int(idx.size) for _, idx, _ in dispatch),
+            )
+        if self._pool is not None:
+            partials = self._pool.call_many([
+                (
+                    shard.shard_id,
+                    "estimate_batch_coords",
+                    (clipped,),
+                )
+                for shard, _, clipped in dispatch
+            ])
+        else:
+            partials = [
+                shard.estimate_batch_coords(clipped)
+                for shard, _, clipped in dispatch
+            ]
+        # shard-id order: the accumulation order is part of the
+        # bit-for-bit contract with ShardUnionEstimator
+        for (_, idx, _), partial in zip(dispatch, partials):
+            result[idx] += partial
+        return result
+
+    def estimate(self, query: Rect) -> float:
+        """Scalar serve: per-shard engine calls, shard-order sum."""
+        validate_extent(
+            query.x1, query.y1, query.x2, query.y2, what="query"
+        )
+        self._revalidate()
+        requests: List[Tuple[
+            HistogramShard, Tuple[float, float, float, float]
+        ]] = []
+        skipped = 0
+        for shard in self.sharded.shards:
+            box = shard.routing_box()
+            if box is None or not box.intersects(query):
+                skipped += 1
+                continue
+            requests.append((shard, (
+                max(query.x1, box.x1),
+                max(query.y1, box.y1),
+                min(query.x2, box.x2),
+                min(query.y2, box.y2),
+            )))
+        if OBS.enabled:
+            OBS.add("serving.shard.fanout", len(requests))
+            OBS.add("serving.shard.skipped", skipped)
+            OBS.add("serving.shard.subqueries", len(requests))
+        if self._pool is not None:
+            values = self._pool.call_many([
+                (shard.shard_id, "estimate_one", clipped)
+                for shard, clipped in requests
+            ])
+        else:
+            values = [
+                shard.estimate_one(*clipped)
+                for shard, clipped in requests
+            ]
+        total = 0.0
+        for value in values:
+            total += float(value)
+        return total
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def insert(self, rect: Rect) -> int:
+        """Insert, routed to (and invalidating) one shard only."""
+        sid = self.sharded.insert(rect)
+        if OBS.enabled:
+            OBS.add("serving.shard.routed_mutations")
+        if self._pool is not None:
+            self._pool.cast(sid, "apply_op", ("insert", rect))
+        return sid
+
+    def delete(self, rect: Rect) -> Tuple[int, bool]:
+        """Delete via the owning shard; ``(shard id, accepted)``."""
+        sid, accepted = self.sharded.delete(rect)
+        if OBS.enabled:
+            OBS.add("serving.shard.routed_mutations")
+        if accepted and self._pool is not None:
+            self._pool.cast(sid, "apply_op", ("delete", rect))
+        return sid, accepted
+
+    # ------------------------------------------------------------------
+    def size_words(self) -> int:
+        return self.sharded.size_words()
+
+    def close(self) -> None:
+        """Shut the worker pool down (no-op when serving inline)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        mode = (
+            f"pool={self.workers}" if self._pool is not None
+            else "inline"
+        )
+        return (
+            f"ShardRouter({self.name!r}, "
+            f"n_shards={self.sharded.n_shards}, {mode})"
+        )

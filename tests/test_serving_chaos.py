@@ -181,6 +181,157 @@ class TestCacheUnderDegradation:
         assert engine.cache.hits == hits_before + N_QUERIES
 
 
+class TestShardedChaos:
+    """Faults in one shard's estimator stay inside that shard.
+
+    Every shard of a ``guarded=True`` sharded tier runs its own
+    fallback chain whose link names carry the shard id
+    (``Min-Skew@s0`` → ``Uniform@s0``), so fault sites and
+    ``resilience.*`` counters are naturally per-shard.  A fault
+    injected into shard 0's estimator degrades shard 0's *partial*
+    down its chain; every other shard's contribution is bit-identical
+    to a fault-free run.
+    """
+
+    def _sharded(self, data):
+        from repro.serving import ShardedHistogram
+
+        return ShardedHistogram.build(
+            data, n_shards=3, n_buckets=12, n_regions=256,
+            guarded=True,
+        )
+
+    def _faulted_serve(self, data, queries):
+        """Serve through a router while shard 0's primary link fails
+        to build; returns (values, counters, router)."""
+        from repro.serving import ShardRouter
+
+        sharded = self._sharded(data)
+        router = ShardRouter(sharded)
+        name = sharded.shards[0].estimator.name
+        plan = FaultPlan(
+            0,
+            (FaultSpec(f"estimator.build.{name}@s0",
+                       kind="corrupt"),),
+        )
+        clock = sharded.shards[0].chain.clock
+        with OBS.scope():
+            OBS.reset()
+            with installed(FaultInjector(plan, clock=clock)):
+                values = router.estimate_batch(queries)
+            counters = dict(OBS.snapshot()["counters"])
+            OBS.reset()
+        return values, counters, router
+
+    def _subbatch(self, sharded, queries, sid):
+        """(positions, clipped coords) shard ``sid`` receives — the
+        same intersection/clip rule the router applies."""
+        box = sharded.shards[sid].routing_box()
+        coords = queries.coords
+        mask = (
+            (coords[:, 0] <= box.x2)
+            & (coords[:, 2] >= box.x1)
+            & (coords[:, 1] <= box.y2)
+            & (coords[:, 3] >= box.y1)
+        )
+        idx = np.flatnonzero(mask)
+        sub = coords[idx]
+        clipped = np.column_stack([
+            np.maximum(sub[:, 0], box.x1),
+            np.maximum(sub[:, 1], box.y1),
+            np.minimum(sub[:, 2], box.x2),
+            np.minimum(sub[:, 3], box.y2),
+        ])
+        return idx, clipped
+
+    def test_fault_degrades_only_the_faulted_shards_partial(
+        self, data, queries
+    ):
+        from repro.geometry import RectSet
+        from repro.serving import ShardRouter
+
+        values, counters, router = self._faulted_serve(
+            data, queries
+        )
+        sharded = router.sharded
+        name = sharded.shards[0].estimator.name
+        idx0, clipped0 = self._subbatch(sharded, queries, 0)
+        n0 = len(idx0)
+        assert n0 > 0  # the fault was actually exercised
+        assert np.isfinite(values).all() and (values >= 0.0).all()
+        # the chain degraded exactly once, in shard 0's links only
+        assert counters.get(
+            f"resilience.link_failures.{name}@s0"
+        ) == 1
+        assert counters.get("resilience.served.Uniform@s0") == n0
+        assert counters.get("resilience.degraded") == n0
+        for sid in (1, 2):
+            assert (
+                f"resilience.link_failures.{name}@s{sid}"
+                not in counters
+            )
+            idx, _ = self._subbatch(sharded, queries, sid)
+            if len(idx):
+                assert counters.get(
+                    f"resilience.served.{name}@s{sid}"
+                ) == len(idx)
+        # shard 0's partial is exactly its Uniform link's answer
+        uniform = next(
+            link for link in sharded.shards[0].chain.links
+            if link.name == "Uniform@s0"
+        ).built_estimator
+        healthy = ShardRouter(self._sharded(data))
+        expected = healthy.estimate_batch(queries).copy()
+        kernel = np.zeros(len(queries), dtype=np.float64)
+        kernel[idx0] = sharded.shards[0].estimator.estimate_batch(
+            RectSet(clipped0, copy=False, validate=False)
+        )
+        uniform_part = np.zeros(len(queries), dtype=np.float64)
+        uniform_part[idx0] = uniform.estimate_batch(
+            RectSet(clipped0, copy=False, validate=False)
+        )
+        np.testing.assert_allclose(
+            values, expected - kernel + uniform_part, rtol=1e-12
+        )
+        # queries that never touch shard 0 are *bit-identical* to
+        # the fault-free run: healthy shards did not notice
+        untouched = np.setdiff1d(
+            np.arange(len(queries)), idx0
+        )
+        np.testing.assert_array_equal(
+            values[untouched], expected[untouched]
+        )
+
+    def test_recovery_is_bit_identical_to_never_faulted(
+        self, data, queries
+    ):
+        from repro.serving import ShardRouter
+
+        first, _, router = self._faulted_serve(data, queries)
+        # injector gone, breaker still closed after one failure: the
+        # next serve rebuilds shard 0's primary link and recovers
+        second = router.estimate_batch(queries)
+        healthy = ShardRouter(self._sharded(data))
+        np.testing.assert_array_equal(
+            second, healthy.estimate_batch(queries)
+        )
+        assert not np.array_equal(second, first)
+
+    def test_degraded_partial_is_not_cached_by_the_shard(
+        self, data, queries
+    ):
+        _, _, router = self._faulted_serve(data, queries)
+        engine = router.sharded.shards[0].engine
+        assert len(engine.cache) == 0
+        for shard in router.sharded.shards[1:]:
+            _, clipped = self._subbatch(
+                router.sharded, queries, shard.shard_id
+            )
+            assert len(shard.engine.cache) == len(
+                {tuple(row) for row in clipped}
+            )
+
+
 class TestLazyLinkIndexing:
     def test_lazily_built_link_is_indexed_on_discovery(
         self, data, queries

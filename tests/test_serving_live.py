@@ -213,3 +213,135 @@ class TestScalarBatchAgreementLive:
             [est.estimate(q) for q in queries], dtype=np.float64
         )
         np.testing.assert_array_equal(batch, scalar)
+
+
+class TestShardedLiveMaintenance:
+    """Live maintenance against the sharded tier: a mutation stream
+    invalidates only the owning shard — the others keep their epochs,
+    caches, and indexes — while answers stay bit-identical to a fresh
+    single-engine rebuild over the current buckets."""
+
+    def _sharded(self, **kwargs):
+        from repro.serving import ShardedHistogram
+
+        return ShardedHistogram.build(
+            DATA, n_shards=4, n_buckets=24, n_regions=256,
+            drift_threshold=0.9, **kwargs,
+        )
+
+    def _cluster_sharded(self):
+        """Two well-separated clusters → two shards whose routing
+        boxes cannot overlap, so per-shard cache behaviour is
+        observable in isolation."""
+        from repro.geometry import RectSet
+        from repro.serving import ShardedHistogram
+
+        rng = np.random.default_rng(41)
+        a = rng.uniform(0.0, 1.0, size=(60, 2))
+        b = rng.uniform(100.0, 101.0, size=(60, 2))
+        pts = np.vstack([a, b])
+        coords = np.column_stack(
+            [pts[:, 0], pts[:, 1],
+             pts[:, 0] + 0.01, pts[:, 1] + 0.01]
+        )
+        return ShardedHistogram.build(
+            RectSet(coords), n_shards=2, n_buckets=8,
+            n_regions=64, drift_threshold=1.0,
+        )
+
+    @given(seed=st.integers(0, 10_000), n_ops=st.integers(10, 60))
+    @settings(max_examples=10, deadline=None)
+    def test_interleaved_stream_matches_fresh_rebuild(
+        self, seed, n_ops
+    ):
+        from repro.serving import ShardRouter
+
+        sharded = self._sharded()
+        router = ShardRouter(sharded)
+        queries = range_queries(DATA, 0.1, 25, seed=seed + 1)
+        for op in live_workload(DATA, 0.1, n_ops, seed=seed):
+            if op.kind == "query":
+                router.estimate(op.rect)
+            elif op.kind == "insert":
+                router.insert(op.rect)
+            else:
+                router.delete(op.rect)
+            # serve batches mid-stream so shard caches go stale
+            if op.kind != "query":
+                router.estimate_batch(queries)
+        np.testing.assert_array_equal(
+            router.estimate_batch(queries),
+            sharded.union_estimator().estimate_batch(queries),
+        )
+
+    def test_mutation_stream_moves_owner_epochs_only(self):
+        from repro.serving import ShardRouter
+
+        sharded = self._sharded()
+        router = ShardRouter(sharded)
+        for op in live_workload(DATA, 0.1, 50, seed=43):
+            if op.kind == "query":
+                continue
+            before = sharded.epochs()
+            if op.kind == "insert":
+                sid = router.insert(op.rect)
+                moved = True
+            else:
+                sid, moved = router.delete(op.rect)
+            after = sharded.epochs()
+            assert sid == sharded.owner_of(op.rect)
+            for i, (b, a) in enumerate(zip(before, after)):
+                if i == sid and moved:
+                    assert a > b
+                else:
+                    assert a == b
+
+    def test_untouched_shards_keep_caches_warm(self):
+        from repro.geometry import RectSet
+        from repro.serving import ShardRouter
+
+        sharded = self._cluster_sharded()
+        boxes = [s.routing_box() for s in sharded.shards]
+        assert not boxes[0].intersects(boxes[1])
+        router = ShardRouter(sharded)
+        # per-shard query sets: each batch row lands on one shard only
+        mixed = RectSet(np.vstack([
+            range_queries(
+                sharded.shards[0].hist.current_data(), 0.3, 15,
+                seed=44,
+            ).coords,
+            range_queries(
+                sharded.shards[1].hist.current_data(), 0.3, 15,
+                seed=45,
+            ).coords,
+        ]))
+        router.estimate_batch(mixed)  # populate both shard caches
+        cold = sharded.shards[0]
+        warm = sharded.shards[1]
+        warm_hits = warm.engine.cache.hits
+        # mutate shard 0 only
+        rect = cold.hist.current_data()[0]
+        assert sharded.owner_of(rect) == cold.shard_id
+        router.insert(rect)
+        with OBS.scope():
+            OBS.reset()
+            result = router.estimate_batch(mixed)
+            counters = dict(OBS.snapshot()["counters"])
+            OBS.reset()
+        # the touched shard flushed; the untouched shard answered
+        # its whole sub-batch from its still-warm cache
+        assert cold.engine.cache.flushes == 1
+        assert warm.engine.cache.flushes == 0
+        assert warm.engine.cache.hits == warm_hits + 15
+        assert counters.get("serving.cache.flushes") == 1
+        assert counters.get(
+            f"serving.shard.epoch_bumps.s{cold.shard_id}"
+        ) == 1
+        assert (
+            f"serving.shard.epoch_bumps.s{warm.shard_id}"
+            not in counters
+        )
+        np.testing.assert_array_equal(
+            result,
+            sharded.union_estimator().estimate_batch(mixed),
+        )
