@@ -14,7 +14,12 @@ Layout:
 * :mod:`repro.analysis.rules` — the rule registry and the repository
   rules (DET001, NPY001, MUT001, OBS001, API001);
 * :mod:`repro.analysis.config` — per-rule knobs and package scopes;
-* :mod:`repro.analysis.reporters` — text and schema-pinned JSON output.
+* :mod:`repro.analysis.reporters` — text, schema-pinned JSON, and
+  SARIF 2.1.0 output;
+* :mod:`repro.analysis.project` — the whole-program pass: symbol
+  tables, call graph, dominance analysis, and the cross-module rules
+  (EPOCH001, PICKLE001, SEED001, ORDER001, SUP001) behind
+  ``repro-spatial lint --project``.
 
 Run it via ``repro-spatial lint src/`` or programmatically::
 
@@ -31,16 +36,32 @@ from .engine import (
     LintResult,
     ModuleContext,
     iter_source_files,
+    iter_suppression_comments,
     lint_file,
     lint_paths,
     lint_source,
 )
+from .project import (
+    PROJECT_RULES,
+    ProjectRule,
+    apply_baseline,
+    fingerprint,
+    lint_project,
+    load_baseline,
+    load_project,
+    register_project,
+    write_baseline,
+)
 from .reporters import (
     LINT_JSON_SCHEMA,
+    SARIF_VERSION,
     lint_json_dict,
     render_json,
+    render_sarif,
     render_text,
+    sarif_dict,
     validate_lint_json,
+    validate_sarif,
 )
 from .rules import RULES, Rule, register
 
@@ -52,15 +73,29 @@ __all__ = [
     "LintResult",
     "ModuleContext",
     "iter_source_files",
+    "iter_suppression_comments",
     "lint_file",
     "lint_paths",
     "lint_source",
     "LINT_JSON_SCHEMA",
+    "SARIF_VERSION",
     "lint_json_dict",
     "render_json",
+    "render_sarif",
     "render_text",
+    "sarif_dict",
     "validate_lint_json",
+    "validate_sarif",
     "RULES",
     "Rule",
     "register",
+    "PROJECT_RULES",
+    "ProjectRule",
+    "apply_baseline",
+    "fingerprint",
+    "lint_project",
+    "load_baseline",
+    "load_project",
+    "register_project",
+    "write_baseline",
 ]

@@ -41,6 +41,29 @@ class LintConfig:
         registered-metric naming scheme of :mod:`repro.obs`.
     exclude_dir_names:
         Directory basenames skipped while walking lint targets.
+    epoch001_packages:
+        Module prefixes whose revalidating classes EPOCH001 checks.
+    epoch001_revalidators:
+        Method names that bring derived state up to date; a class is
+        in EPOCH001 scope when it defines or inherits one of these.
+    epoch001_cache_attrs:
+        ``self.<attr>`` names treated as the query cache.
+    epoch001_read_methods:
+        Methods on a cache attribute that read derived state.
+    epoch001_probe_methods:
+        Methods on any ``self`` attribute treated as an index probe
+        (``candidates`` — the :class:`BucketIndex` contract).
+    epoch001_exempt_methods:
+        Methods never analysed (constructors; the revalidators
+        themselves are always exempt).
+    pickle001_boundaries:
+        Qualified callables whose arguments cross a pickle boundary.
+    seed001_constructors:
+        Qualified RNG constructors whose seed argument SEED001 traces
+        across call edges.
+    order001_packages:
+        Module prefixes where iteration over unordered sets must not
+        feed float accumulation.
     """
 
     select: Optional[FrozenSet[str]] = None
@@ -97,6 +120,44 @@ class LintConfig:
     })
     exclude_dir_names: Tuple[str, ...] = (
         "__pycache__", ".git", ".venv", "build", "dist",
+    )
+    epoch001_packages: Tuple[str, ...] = (
+        "repro.serving",
+        "repro.estimators",
+    )
+    epoch001_revalidators: Tuple[str, ...] = ("_revalidate", "sync")
+    epoch001_cache_attrs: FrozenSet[str] = frozenset({
+        "cache", "_cache",
+    })
+    epoch001_read_methods: FrozenSet[str] = frozenset({
+        "lookup", "lookup_batch", "get",
+    })
+    epoch001_probe_methods: FrozenSet[str] = frozenset({
+        "candidates",
+    })
+    epoch001_exempt_methods: FrozenSet[str] = frozenset({
+        "__init__", "__repr__", "__getstate__", "__setstate__",
+    })
+    pickle001_boundaries: FrozenSet[str] = frozenset({
+        "repro.serving.parallel.ShardWorkerPool",
+        "repro.serving.parallel.parallel_map",
+        "concurrent.futures.ProcessPoolExecutor",
+        "pickle.dumps",
+        "pickle.dump",
+    })
+    seed001_constructors: FrozenSet[str] = frozenset({
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.PCG64",
+        "numpy.random.MT19937",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+        "numpy.random.SeedSequence",
+    })
+    order001_packages: Tuple[str, ...] = (
+        "repro.core",
+        "repro.estimators",
+        "repro.serving",
     )
 
     def replace(self, **changes: Any) -> "LintConfig":

@@ -20,7 +20,9 @@ cannot hide findings in the rest of the tree.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, \
@@ -33,6 +35,7 @@ __all__ = [
     "ModuleContext",
     "LintResult",
     "iter_source_files",
+    "iter_suppression_comments",
     "lint_file",
     "lint_paths",
     "lint_source",
@@ -43,6 +46,53 @@ _NOQA_RE = re.compile(
 )
 
 
+def iter_suppression_comments(
+    source: str,
+) -> List[Tuple[int, int, Optional[FrozenSet[str]]]]:
+    """Every ``# repro: noqa[...]`` *comment* as (line, col, rules).
+
+    ``rules`` is ``None`` for a bare ``# repro: noqa``.  Comments are
+    found through the tokenizer, so noqa-shaped text inside strings
+    and docstrings is never a suppression (and, since SUP001, never a
+    false "unused suppression" finding either).  Untokenizable input
+    falls back to a line-by-line regex scan — a linter that silently
+    ignores suppressions in a file it could still parse would resurrect
+    findings the author explicitly waived.
+    """
+    found: List[Tuple[int, int, Optional[FrozenSet[str]]]] = []
+
+    def record(text: str, line: int, col: int) -> None:
+        # The directive must BE the comment, not appear inside one —
+        # prose like "a bare ``# repro: noqa`` silences…" mid-comment
+        # is documentation, not a suppression.
+        match = _NOQA_RE.match(text)
+        if match is None:
+            return
+        rules = match.group("rules")
+        if rules is None:
+            found.append((line, col, None))
+        else:
+            found.append((line, col, frozenset(
+                part.strip().upper()
+                for part in rules.split(",") if part.strip()
+            )))
+
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            hash_at = text.find("#")
+            if hash_at >= 0:
+                record(text[hash_at:], lineno, hash_at)
+        return found
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            record(token.string, token.start[0], token.start[1])
+    return found
+
+
 def _collect_suppressions(
     source: str,
 ) -> Dict[int, Optional[FrozenSet[str]]]:
@@ -51,18 +101,13 @@ def _collect_suppressions(
     ``None`` means every rule is suppressed on that line.
     """
     table: Dict[int, Optional[FrozenSet[str]]] = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _NOQA_RE.search(text)
-        if match is None:
-            continue
-        rules = match.group("rules")
-        if rules is None:
-            table[lineno] = None
+    for line, _col, rules in iter_suppression_comments(source):
+        if rules is None or line not in table:
+            table[line] = rules
         else:
-            table[lineno] = frozenset(
-                part.strip().upper()
-                for part in rules.split(",") if part.strip()
-            )
+            existing = table[line]
+            if existing is not None:
+                table[line] = existing | rules
     return table
 
 

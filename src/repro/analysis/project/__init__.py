@@ -1,0 +1,66 @@
+"""Whole-program analysis: cross-module rules over the full tree.
+
+The per-file linter (:mod:`repro.analysis.engine`) sees one module at
+a time, so it cannot state the invariants that actually protect the
+serving tier — "every cache read happens after a revalidate", "every
+class shipped to a worker pickles honestly", "seeds flow through
+parameters across call edges".  This package sees the whole tree:
+
+``model``
+    Symbol tables — modules, classes (with project-visible MRO),
+    functions, per-class attribute inventories with pickle-hazard
+    flags.
+``loader``
+    Builds a :class:`~repro.analysis.project.model.Project` from
+    source paths, resolving absolute, aliased *and relative* imports.
+``callgraph``
+    Best-effort call edges: ``self.``-dispatch through the MRO,
+    alias/re-export resolution, constructor edges, local receiver
+    inference.
+``dominance``
+    The path-sensitive "is every read dominated by a revalidate?"
+    abstract interpretation EPOCH001 runs per method.
+``rules``
+    The five cross-module rules (EPOCH001, PICKLE001, SEED001,
+    ORDER001, SUP001) and their :data:`PROJECT_RULES` registry.
+``engine``
+    :func:`lint_project` — the driver the CLI's ``--project`` flag
+    invokes.
+``baseline``
+    Committed-baseline fingerprinting for incremental adoption.
+"""
+
+from __future__ import annotations
+
+from .baseline import BASELINE_VERSION, apply_baseline, fingerprint, \
+    load_baseline, write_baseline
+from .callgraph import CallGraph, CallSite, calls_in, local_class_env
+from .dominance import EVENT_READ, EVENT_REVALIDATE, undominated_reads
+from .engine import lint_project
+from .loader import load_project
+from .model import AttributeInfo, ClassInfo, FunctionInfo, Project
+from .rules import PROJECT_RULES, ProjectRule, register_project
+
+__all__ = [
+    "AttributeInfo",
+    "BASELINE_VERSION",
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "EVENT_READ",
+    "EVENT_REVALIDATE",
+    "FunctionInfo",
+    "PROJECT_RULES",
+    "Project",
+    "ProjectRule",
+    "apply_baseline",
+    "calls_in",
+    "fingerprint",
+    "lint_project",
+    "load_baseline",
+    "load_project",
+    "local_class_env",
+    "register_project",
+    "undominated_reads",
+    "write_baseline",
+]

@@ -1,0 +1,105 @@
+"""Committed-baseline mechanism for the project lint pass.
+
+A baseline is a committed JSON file of finding *fingerprints* —
+``path::rule::message`` — that CI tolerates.  The intended workflow
+when a new cross-module rule lands with pre-existing findings:
+
+1. ``repro-spatial lint --project --write-baseline lint-baseline.json``
+   snapshots today's findings;
+2. CI runs ``--project --baseline lint-baseline.json`` and fails only
+   on findings *not* in the snapshot, so new debt is blocked while old
+   debt is burned down file by file;
+3. shrinking the baseline back to empty is the finish line (this
+   repository's committed baseline *is* empty).
+
+Fingerprints deliberately exclude line/column, so moving code without
+changing its meaning does not churn the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import FrozenSet, List, Union
+
+from ...errors import ValidationError
+from ..diagnostics import Violation
+from ..engine import LintResult
+
+__all__ = [
+    "BASELINE_VERSION",
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Version stamp for the baseline file format.
+BASELINE_VERSION = 1
+
+
+def fingerprint(violation: Violation) -> str:
+    """Stable identity of a finding across line-number churn."""
+    return f"{violation.path}::{violation.rule}::{violation.message}"
+
+
+def load_baseline(path: Union[str, Path]) -> FrozenSet[str]:
+    """Read a baseline file, validating shape and version."""
+    target = Path(path)
+    try:
+        payload = json.loads(target.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ValidationError(
+            f"cannot read baseline {target}: {exc}",
+            hint="create one with --write-baseline",
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise ValidationError(
+            f"baseline {target} is not valid JSON: {exc}",
+            hint="regenerate it with --write-baseline",
+        ) from exc
+    if not isinstance(payload, dict) \
+            or payload.get("version") != BASELINE_VERSION \
+            or not isinstance(payload.get("fingerprints"), list) \
+            or not all(
+                isinstance(item, str)
+                for item in payload["fingerprints"]
+            ):
+        raise ValidationError(
+            f"baseline {target} has an unrecognised shape",
+            hint=(
+                f"expected {{'version': {BASELINE_VERSION}, "
+                f"'fingerprints': [...]}}"
+            ),
+        )
+    return frozenset(payload["fingerprints"])
+
+
+def write_baseline(
+    result: LintResult, path: Union[str, Path]
+) -> int:
+    """Snapshot ``result``'s findings; returns how many were written."""
+    prints = sorted({fingerprint(v) for v in result.violations})
+    payload = {
+        "version": BASELINE_VERSION,
+        "fingerprints": prints,
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(prints)
+
+
+def apply_baseline(
+    result: LintResult, fingerprints: FrozenSet[str]
+) -> LintResult:
+    """Drop findings whose fingerprint appears in the baseline."""
+    kept: List[Violation] = [
+        violation for violation in result.violations
+        if fingerprint(violation) not in fingerprints
+    ]
+    return LintResult(
+        files_checked=result.files_checked,
+        violations=tuple(kept),
+    )

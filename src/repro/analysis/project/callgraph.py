@@ -1,0 +1,204 @@
+"""Import-alias-resolving call graph over a :class:`Project`.
+
+Edges are syntactic and best-effort — a static call graph over Python
+is necessarily partial — but resolve the cases the serving protocols
+actually use:
+
+* ``self.method()`` through the project-visible MRO of the enclosing
+  class;
+* plain and dotted calls through the module's project-aware alias map
+  (absolute, aliased and relative imports) and through package
+  re-exports;
+* constructor calls, recorded against the class qualname so rules can
+  treat "constructs X" and "calls X.__init__" uniformly;
+* ``obj.method()`` where ``obj``'s class is locally inferable from a
+  parameter annotation, an ``x = Foo(...)`` assignment, an annotated
+  local, or a ``with Foo(...) as x`` binding.
+
+Unresolvable calls produce no edge; rules built on the graph are
+written so a missing edge degrades to a missed finding, never a false
+one (EPOCH001's interprocedural step only consumes *intra-class*
+edges, which the ``self.`` case covers exactly).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .model import FunctionInfo, FunctionNode, Project
+
+__all__ = ["CallGraph", "CallSite", "calls_in", "local_class_env"]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call: ``caller`` invokes ``callee`` at ``call``."""
+
+    caller: str
+    callee: str
+    call: ast.Call
+
+
+def calls_in(node: FunctionNode) -> List[ast.Call]:
+    """Every call in ``node``'s body, in source order.
+
+    Nested ``def``/``lambda`` bodies are included (closures run on
+    behalf of their enclosing function), nested classes are not.
+    """
+    found: List[ast.Call] = []
+
+    def walk(current: ast.AST) -> None:
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, ast.ClassDef):
+                continue
+            if isinstance(child, ast.Call):
+                found.append(child)
+            walk(child)
+
+    for stmt in node.body:
+        if isinstance(stmt, ast.Call):
+            found.append(stmt)
+        walk(stmt)
+    found.sort(key=lambda c: (c.lineno, c.col_offset))
+    return found
+
+
+def local_class_env(
+    fn: FunctionInfo, project: Project
+) -> Dict[str, str]:
+    """Map local names to project-class qualnames, best effort.
+
+    Sources, in increasing precedence: parameter annotations,
+    annotated locals, ``x = Foo(...)`` constructor assignments and
+    ``with Foo(...) as x`` bindings.
+    """
+    env: Dict[str, str] = {}
+    args = fn.node.args
+    for arg in list(args.posonlyargs) + list(args.args) \
+            + list(args.kwonlyargs):
+        if arg.annotation is None:
+            continue
+        resolved = project.resolve(fn.module, arg.annotation)
+        if resolved is not None and resolved in project.classes:
+            env[arg.arg] = resolved
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.AnnAssign) \
+                and isinstance(node.target, ast.Name):
+            resolved = project.resolve(fn.module, node.annotation)
+            if resolved is not None and resolved in project.classes:
+                env[node.target.id] = resolved
+        elif isinstance(node, ast.Assign) \
+                and isinstance(node.value, ast.Call):
+            resolved = project.resolve(fn.module, node.value.func)
+            if resolved is None or resolved not in project.classes:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    env[target.id] = resolved
+        elif isinstance(node, ast.withitem) \
+                and node.optional_vars is not None \
+                and isinstance(node.optional_vars, ast.Name) \
+                and isinstance(node.context_expr, ast.Call):
+            resolved = project.resolve(
+                fn.module, node.context_expr.func
+            )
+            if resolved is not None and resolved in project.classes:
+                env[node.optional_vars.id] = resolved
+    return env
+
+
+def infer_expr_class(
+    expr: ast.expr,
+    env: Dict[str, str],
+    fn: FunctionInfo,
+    project: Project,
+) -> Optional[str]:
+    """The project class ``expr`` evaluates to, when inferable."""
+    if isinstance(expr, ast.Name):
+        return env.get(expr.id)
+    if isinstance(expr, ast.Call):
+        resolved = project.resolve(fn.module, expr.func)
+        if resolved is not None and resolved in project.classes:
+            return resolved
+        return None
+    if isinstance(expr, ast.Attribute):
+        if isinstance(expr.value, ast.Name) \
+                and expr.value.id == "self" \
+                and fn.class_name is not None:
+            owner = project.classes.get(fn.class_name)
+            if owner is None:
+                return None
+            record = owner.attributes.get(expr.attr)
+            if record is not None and len(record.held_classes) == 1:
+                return next(iter(record.held_classes))
+        return None
+    return None
+
+
+@dataclass
+class CallGraph:
+    """Resolved call edges, indexed both ways."""
+
+    sites: List[CallSite] = field(default_factory=list)
+    by_caller: Dict[str, List[CallSite]] = field(default_factory=dict)
+    by_callee: Dict[str, List[CallSite]] = field(default_factory=dict)
+
+    def _add(self, site: CallSite) -> None:
+        self.sites.append(site)
+        self.by_caller.setdefault(site.caller, []).append(site)
+        self.by_callee.setdefault(site.callee, []).append(site)
+
+    def callees_of(self, qualname: str) -> List[CallSite]:
+        return self.by_caller.get(qualname, [])
+
+    def callers_of(self, qualname: str) -> List[CallSite]:
+        return self.by_callee.get(qualname, [])
+
+    @classmethod
+    def build(cls, project: Project) -> "CallGraph":
+        """Resolve every call in every indexed function."""
+        graph = cls()
+        for fn in project.functions.values():
+            env = local_class_env(fn, project)
+            for call in calls_in(fn.node):
+                callee = _resolve_call(fn, call, env, project)
+                if callee is not None:
+                    graph._add(CallSite(
+                        caller=fn.qualname, callee=callee, call=call
+                    ))
+        return graph
+
+
+def _resolve_call(
+    fn: FunctionInfo,
+    call: ast.Call,
+    env: Dict[str, str],
+    project: Project,
+) -> Optional[str]:
+    func = call.func
+    # self.method() through the enclosing class's project MRO.
+    if isinstance(func, ast.Attribute) \
+            and isinstance(func.value, ast.Name) \
+            and func.value.id == "self" \
+            and fn.class_name is not None:
+        method = project.find_method(fn.class_name, func.attr)
+        if method is not None:
+            return method.qualname
+        return None
+    # Plain/dotted names through aliases and re-exports.
+    resolved = project.resolve(fn.module, func)
+    if resolved is not None:
+        if resolved in project.functions:
+            return resolved
+        if resolved in project.classes:
+            return resolved  # constructor edge, by class qualname
+    # obj.method() with a locally inferable receiver class.
+    if isinstance(func, ast.Attribute):
+        receiver = infer_expr_class(func.value, env, fn, project)
+        if receiver is not None:
+            method = project.find_method(receiver, func.attr)
+            if method is not None:
+                return method.qualname
+    return None

@@ -1,0 +1,92 @@
+"""The whole-program lint driver: load, analyse, filter, report.
+
+:func:`lint_project` is the project-pass counterpart of
+:func:`repro.analysis.engine.lint_paths`.  One run:
+
+1. expands the target paths with the same walker (and exclusions) as
+   the per-file pass;
+2. loads every module into a :class:`Project` (unparseable files
+   become ``PARSE`` findings, never crashes);
+3. builds the call graph once and hands it to every rule;
+4. runs every per-file rule *and* every project rule to obtain the
+   raw finding set — raw, because SUP001 judges suppression comments
+   against what every rule would have said, not just the enabled
+   subset;
+5. filters by rule selection and ``# repro: noqa`` suppressions, then
+   appends SUP001 findings (which are themselves never suppressible —
+   a noqa'd unused-noqa would be a fixed point of nonsense).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Union
+
+from ..config import DEFAULT_CONFIG, LintConfig
+from ..diagnostics import Violation
+from ..engine import LintResult, _collect_suppressions, \
+    iter_source_files
+from ..rules import RULES
+from .callgraph import CallGraph
+from .loader import load_project
+from .model import Project
+from .rules import PROJECT_RULES, unused_suppression_violations
+
+__all__ = ["lint_project"]
+
+
+def _raw_findings(
+    project: Project,
+    config: LintConfig,
+    graph: CallGraph,
+) -> List[Violation]:
+    """Every rule's output over the project, before any filtering."""
+    found: List[Violation] = []
+    for ctx in project.modules.values():
+        for _code, rule_class in sorted(RULES.items()):
+            found.extend(rule_class(ctx, config).run())
+    for code, project_rule in sorted(PROJECT_RULES.items()):
+        if code == "SUP001":
+            continue  # derived from the raw set below, not part of it
+        found.extend(project_rule(project, config, graph).run())
+    return found
+
+
+def lint_project(
+    paths: Sequence[Union[str, Path]],
+    config: LintConfig = DEFAULT_CONFIG,
+) -> LintResult:
+    """Run the whole-program analysis pass over ``paths``."""
+    files = iter_source_files(paths, config=config)
+    project, parse_violations = load_project(files)
+    graph = CallGraph.build(project)
+
+    raw = _raw_findings(project, config, graph)
+
+    suppressions: Dict[str, Dict[int, Optional[FrozenSet[str]]]] = {
+        ctx.path: _collect_suppressions(ctx.source)
+        for ctx in project.modules.values()
+    }
+
+    # PARSE findings bypass selection: a file the analysis could not
+    # even load must never pass silently.
+    kept: List[Violation] = list(parse_violations)
+    for violation in raw:
+        if not config.wants(violation.rule):
+            continue
+        table = suppressions.get(violation.path, {})
+        if violation.line in table:
+            suppressed = table[violation.line]
+            if suppressed is None or violation.rule in suppressed:
+                continue
+        kept.append(violation)
+
+    if config.wants("SUP001"):
+        kept.extend(unused_suppression_violations(
+            project.modules.values(), raw
+        ))
+
+    return LintResult(
+        files_checked=len(files),
+        violations=tuple(sorted(kept)),
+    )

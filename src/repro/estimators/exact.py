@@ -11,6 +11,7 @@ call is "too expensive to be useful").
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from ..counting import ExactCountOracle
 from ..geometry import Rect, RectSet
@@ -30,7 +31,9 @@ class ExactEstimator(SelectivityEstimator):
     def estimate(self, query: Rect) -> float:
         return float(self._rects.count_intersecting(query))
 
-    def _estimate_batch(self, queries: RectSet) -> np.ndarray:
+    def _estimate_batch(
+        self, queries: RectSet
+    ) -> npt.NDArray[np.float64]:
         return self._oracle.counts(queries).astype(np.float64)
 
     def size_words(self) -> int:

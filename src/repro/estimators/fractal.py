@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from ..geometry import Rect, RectSet, require_nonempty
 from ..grid import DensityGrid
@@ -38,12 +39,14 @@ FRACTAL_WORDS = 8
 
 
 def correlation_dimension(
-    points: np.ndarray,
+    points: npt.NDArray[np.float64],
     bounds: Rect,
     *,
     min_level: int = 1,
     max_level: int = 8,
-) -> Tuple[float, np.ndarray, np.ndarray]:
+) -> Tuple[
+    float, npt.NDArray[np.float64], npt.NDArray[np.float64]
+]:
     """Box-counting estimate of the correlation fractal dimension D₂.
 
     Parameters
@@ -138,7 +141,9 @@ class FractalEstimator(SelectivityEstimator):
         )
         return float(self._power_law(qrow)[0])
 
-    def _power_law(self, qcoords: np.ndarray) -> np.ndarray:
+    def _power_law(
+        self, qcoords: npt.NDArray[np.float64]
+    ) -> npt.NDArray[np.float64]:
         """The extended-query power law over an ``(M, 4)`` block."""
         widths = qcoords[:, 2] - qcoords[:, 0]
         heights = qcoords[:, 3] - qcoords[:, 1]
@@ -149,7 +154,9 @@ class FractalEstimator(SelectivityEstimator):
         est = self.n_input * ratio ** self.d2
         return np.where(side > 0.0, est, 0.0)
 
-    def _estimate_batch(self, queries: RectSet) -> np.ndarray:
+    def _estimate_batch(
+        self, queries: RectSet
+    ) -> npt.NDArray[np.float64]:
         return self._power_law(queries.coords)
 
     def size_words(self) -> int:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Iterable, List, Union
 
 import numpy as np
+import numpy.typing as npt
 
 from ..counting import brute_force_counts
 from ..geometry import Rect, RectSet, require_nonempty
@@ -93,7 +94,9 @@ class SampleEstimator(SelectivityEstimator):
     def estimate(self, query: Rect) -> float:
         return self.sample.count_intersecting(query) * self._scale
 
-    def _estimate_batch(self, queries: RectSet) -> np.ndarray:
+    def _estimate_batch(
+        self, queries: RectSet
+    ) -> npt.NDArray[np.float64]:
         if OBS.enabled:
             OBS.add("estimator.sample_comparisons",
                     len(self.sample) * len(queries))

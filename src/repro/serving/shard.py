@@ -482,11 +482,15 @@ class ShardedHistogram:
             plan = ShardPlan.build(
                 data, n_shards, n_regions=plan_regions
             )
+        factory: Callable[[int], Partitioner]
         if partitioner_factory is None:
-            def partitioner_factory(quota: int) -> Partitioner:
+            def _default_factory(quota: int) -> Partitioner:
                 return MinSkewPartitioner(
                     quota, n_regions=n_regions
                 )
+            factory = _default_factory
+        else:
+            factory = partitioner_factory
         owners = plan.owners(data.centers())
         counts = np.bincount(owners, minlength=plan.n_shards)
         quotas = shard_quotas(
@@ -500,7 +504,7 @@ class ShardedHistogram:
                 HistogramShard(
                     sid,
                     plan.boxes[sid],
-                    partitioner_factory(quota),
+                    factory(quota),
                     sub,
                     drift_threshold=drift_threshold,
                     cache_size=cache_size,

@@ -555,9 +555,26 @@ class TestCli:
         for code in RULES:
             assert code in out
 
-    def test_lint_unknown_rule_exits_nonzero(self):
-        with pytest.raises(SystemExit):
-            main(["lint", "--rules", "NOPE999", str(SRC)])
+    def test_lint_unknown_rule_exits_nonzero(self, capsys):
+        assert main(["lint", "--rules", "NOPE999", str(SRC)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith(
+            "repro-spatial: error: ValidationError: unknown rule(s): "
+            "NOPE999"
+        )
+        assert "known rules:" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_lint_empty_rule_selection_exits_nonzero(self, capsys):
+        assert main(["lint", "--rules", ",", str(SRC)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro-spatial: error: ValidationError:")
+        assert "selects no rules" in err
+
+    def test_lint_project_rule_needs_project_flag(self, capsys):
+        assert main(["lint", "--rules", "EPOCH001", str(SRC)]) == 1
+        err = capsys.readouterr().err
+        assert "--project" in err
 
     def test_failing_subcommand_prints_one_line_error(self, capsys):
         exit_code = main(["lint", "/no/such/target"])
@@ -588,6 +605,8 @@ def test_mypy_strict_gate():
             "-p", "repro.analysis",
             "-m", "repro.errors",
             "-p", "repro.resilience",
+            "-p", "repro.serving",
+            "-p", "repro.estimators",
         ],
         cwd=REPO_ROOT,
         env={**__import__("os").environ,
