@@ -155,6 +155,28 @@ def test_sharded_mutations_stay_owner_only(sharded_run):
         assert len(shard["shard_epoch_bumps"]) == 3
 
 
+def test_sharded_recovery_contract(sharded_run):
+    # the fault-tolerance gate: the worker-kill chaos cell must show
+    # every request batch surviving SIGKILLed workers and the
+    # recovered tier answering bit-identically to the union reference
+    doc, _ = sharded_run
+    for entry in doc["datasets"][0]["techniques"]:
+        recovery = entry["sharded"]["recovery"]
+        assert recovery["requests"] > 0
+        assert recovery["survived"] == recovery["requests"], (
+            f"{entry['technique']}: a request batch was lost to a "
+            f"worker kill"
+        )
+        assert recovery["recovered_matches"] is True, (
+            f"{entry['technique']}: post-recovery answers or shard "
+            f"state diverged from the reference"
+        )
+        # the seeded plan actually kills: a chaos cell that never
+        # injects proves nothing
+        assert recovery["kills"] > 0
+        assert recovery["respawns"] >= recovery["kills"]
+
+
 def test_committed_baseline_is_valid_when_present():
     baseline = REPO_ROOT / "BENCH_serving.json"
     if not baseline.exists():
@@ -168,6 +190,10 @@ def test_committed_baseline_is_valid_when_present():
             shard = entry["sharded"]
             assert shard["sharded_matches"] is True
             assert shard["owner_only_invalidation"] is True
+            recovery = shard.get("recovery")
+            if recovery is not None:
+                assert recovery["survived"] == recovery["requests"]
+                assert recovery["recovered_matches"] is True
 
 
 def test_cli_serving_preset(tmp_path, capsys):

@@ -64,6 +64,18 @@ class LintConfig:
     order001_packages:
         Module prefixes where iteration over unordered sets must not
         feed float accumulation.
+    res002_packages:
+        Module prefixes whose IPC receive loops RES002 checks.
+    res002_recv_methods:
+        Attribute calls treated as blocking IPC reads (connection
+        ``recv``/``recv_bytes``/``poll``).
+    res002_check_attrs:
+        Attribute calls that consume deadline budget
+        (``Deadline.check``); each IPC read must be dominated by one.
+    res002_exempt_functions:
+        Function/method names RES002 never analyses — the worker-side
+        idle loop blocks on ``recv`` by design (its supervisor kills
+        it), only parent-side loops must carry deadlines.
     """
 
     select: Optional[FrozenSet[str]] = None
@@ -158,6 +170,14 @@ class LintConfig:
         "repro.core",
         "repro.estimators",
         "repro.serving",
+    )
+    res002_packages: Tuple[str, ...] = ("repro.serving",)
+    res002_recv_methods: FrozenSet[str] = frozenset({
+        "recv", "recv_bytes", "poll",
+    })
+    res002_check_attrs: FrozenSet[str] = frozenset({"check"})
+    res002_exempt_functions: Tuple[str, ...] = (
+        "_shard_worker_main",
     )
 
     def replace(self, **changes: Any) -> "LintConfig":

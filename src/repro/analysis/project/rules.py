@@ -37,6 +37,14 @@ ORDER001
     ``set``/``frozenset`` (or a set-algebra result over dict views)
     into a float accumulation makes the sum order — and therefore the
     last ulp — depend on hash seeds.  Iterate ``sorted(...)`` instead.
+RES002
+    Deadline-dominated IPC.  A blocking pipe read
+    (``recv``/``recv_bytes``/``poll``) in the serving package must be
+    dominated by a deadline check (``.check()``) on every path — the
+    same dominance machinery as EPOCH001 — so a worker process that
+    dies mid-reply exhausts a logical budget instead of hanging the
+    serve.  Worker-side idle loops are exempt by name; their
+    supervisor kills them.
 SUP001
     Suppression hygiene: a ``# repro: noqa[RULE]`` comment that
     matches no finding on its line is itself a finding (computed
@@ -1051,6 +1059,74 @@ def _mentions(expr: ast.expr, name: str) -> bool:
         isinstance(node, ast.Name) and node.id == name
         for node in ast.walk(expr)
     )
+
+
+# ----------------------------------------------------------------------
+# RES002 — deadline-dominated IPC receive loops
+# ----------------------------------------------------------------------
+@register_project
+class DeadlineRecvRule(ProjectRule):
+    """Blocking IPC reads in serving code must sit under a deadline.
+
+    The serving tier's availability contract says a dead or wedged
+    worker process surfaces as a typed error, never as a hang.  That
+    holds only if every parent-side pipe read
+    (``conn.recv``/``recv_bytes``/``poll``) is dominated — on every
+    path, the same walker EPOCH001 uses — by a deadline check
+    (``deadline.check(...)``), so a worker that stops replying runs
+    the loop out of logical budget instead of blocking forever.
+    Worker-side idle loops (``res002_exempt_functions``) legitimately
+    block on ``recv``: their supervisor kills them, so they carry no
+    deadline.
+    """
+
+    code = "RES002"
+    summary = (
+        "IPC receive loops in serving code must be dominated by a "
+        "deadline check on every path; a silent worker death would "
+        "hang the serve otherwise"
+    )
+
+    def run(self) -> List[Violation]:
+        exempt = set(self.config.res002_exempt_functions)
+        classifier = _RecvClassifier(self.config)
+        for info in self.project.functions.values():
+            if not info.ctx.in_packages(self.config.res002_packages):
+                continue
+            if info.name in exempt:
+                continue
+            for call in undominated_reads(info.node, classifier):
+                self.report(
+                    info.ctx.path, call,
+                    self._message(info, call),
+                )
+        return self.violations
+
+    def _message(self, info: FunctionInfo, call: ast.Call) -> str:
+        attr = call.func.attr \
+            if isinstance(call.func, ast.Attribute) else "recv"
+        return (
+            f"IPC read .{attr}() in {info.qualname} is not dominated "
+            f"by a deadline .check() on every path; a worker that "
+            f"dies mid-reply would hang this loop forever"
+        )
+
+
+class _RecvClassifier:
+    """Call classifier for RES002's dominance walk."""
+
+    def __init__(self, config: LintConfig) -> None:
+        self.config = config
+
+    def __call__(self, call: ast.Call) -> Optional[str]:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        if func.attr in self.config.res002_check_attrs:
+            return EVENT_REVALIDATE
+        if func.attr in self.config.res002_recv_methods:
+            return EVENT_READ
+        return None
 
 
 # ----------------------------------------------------------------------

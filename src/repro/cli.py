@@ -444,6 +444,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     from .resilience.chaos import ChaosConfig, format_report, run_chaos
 
+    if args.kill_shard_workers:
+        return _cmd_chaos_worker_kill(args)
     options = {}
     if args.budget is not None:
         options["call_budget_steps"] = args.budget
@@ -464,6 +466,42 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     else:
         print(format_report(report_))
     return 0 if report_.survival == 1.0 else 1
+
+
+def _cmd_chaos_worker_kill(args: argparse.Namespace) -> int:
+    """``chaos --kill-shard-workers``: SIGKILL workers mid-stream.
+
+    Exit 0 iff every query batch survived AND the recovered tier is
+    bit-identical to the union reference (answers and per-shard state
+    digests) — the fault-tolerance acceptance gate.
+    """
+    import json as _json
+
+    from .resilience.chaos import (
+        WorkerKillConfig,
+        format_worker_kill_report,
+        run_worker_kill_chaos,
+    )
+
+    config = WorkerKillConfig(
+        dataset=args.dataset,
+        n=args.n if args.n is not None else 1_200,
+        n_shards=args.shards,
+        n_buckets=args.buckets,
+        n_regions=min(args.regions, 512),
+        workers=args.shard_workers,
+        n_batches=max(1, args.queries // 25),
+        batch_size=25,
+        qsize=args.qsize,
+        plan_seed=args.plan_seed,
+        kill_rate=args.fault_rate,
+    )
+    report_ = run_worker_kill_chaos(config)
+    if args.format == "json":
+        print(_json.dumps(report_.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_worker_kill_report(report_))
+    return 0 if report_.passed else 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -763,6 +801,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=int, default=None,
                    help="per-query step budget "
                         "(default: the chain's standard budget)")
+    p.add_argument("--kill-shard-workers", action="store_true",
+                   help="SIGKILL sharded-tier worker processes "
+                        "mid-stream (per --fault-rate) and assert "
+                        "100%% request survival plus bit-identical "
+                        "post-recovery answers")
+    p.add_argument("--shards", type=int, default=4,
+                   help="shard count for --kill-shard-workers "
+                        "(default: 4)")
+    p.add_argument("--shard-workers", type=int, default=2,
+                   help="worker processes for --kill-shard-workers "
+                        "(default: 2)")
     p.add_argument("--format", default="text",
                    choices=("text", "json"))
     p.set_defaults(func=_cmd_chaos)
@@ -771,7 +820,8 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="run the repository's AST invariant linter "
              "(per-file DET/NPY/MUT/OBS/API rules; --project adds "
-             "the cross-module EPOCH/PICKLE/SEED/ORDER/SUP pass)",
+             "the cross-module EPOCH/PICKLE/SEED/ORDER/RES/SUP "
+             "pass)",
     )
     p.add_argument(
         "paths", nargs="*",

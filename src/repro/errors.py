@@ -31,6 +31,7 @@ __all__ = [
     "EstimationError",
     "EstimatorFailedError",
     "FallbackExhaustedError",
+    "ShardWorkerError",
     "DeadlineError",
     "StorageError",
     "ArtifactMissingError",
@@ -93,6 +94,16 @@ class EstimatorFailedError(EstimationError):
 
 class FallbackExhaustedError(EstimationError):
     """Every link of a fallback chain failed for one query."""
+
+
+class ShardWorkerError(EstimationError):
+    """A shard worker process died, wedged past its reply deadline, or
+    reported a per-request failure.  Retryable: the pool respawns the
+    worker (replaying its write-ahead log), so the same request is
+    expected to succeed on a fresh process; a shard that keeps failing
+    is quarantined by the router and served degraded instead."""
+
+    retryable = True
 
 
 class DeadlineError(ReproError):

@@ -296,6 +296,13 @@ def _bench_sharded_technique(
     owning shard's epoch *only*
     (``sharded.owner_only_invalidation``) — followed by a second
     differential gate over the post-stream state.
+
+    The cell closes with a ``sharded.recovery`` block: a worker-kill
+    chaos run (write-ahead-logged shards, SIGKILLed workers, WAL
+    replay on respawn) recording request survival, respawns, replayed
+    ops, the degraded-dispatch fraction, and whether the recovered
+    tier matched the union reference bit-for-bit.  Every field is
+    logical/deterministic, so the block is stable across machines.
     """
     from ..serving import ShardedHistogram, ShardRouter
 
@@ -371,6 +378,44 @@ def _bench_sharded_technique(
     summary = error_summary(truth, served)
     snapshot = OBS.snapshot()
     counters = snapshot["counters"]
+
+    # fault-tolerance cell, run after the snapshot above because the
+    # harness resets the (global) OBS registry: SIGKILL workers
+    # mid-stream over a fresh write-ahead-logged tier and record the
+    # recovery contract (all logical/deterministic quantities —
+    # nothing to scrub)
+    from ..resilience.chaos import WorkerKillConfig, \
+        run_worker_kill_chaos
+
+    kill_report = run_worker_kill_chaos(
+        WorkerKillConfig(
+            n_shards=config.n_shards,
+            n_buckets=config.n_buckets,
+            n_regions=min(config.n_regions, 512),
+            workers=max(2, config.shard_workers),
+            n_batches=6,
+            batch_size=25,
+            qsize=config.qsize,
+            query_seed=config.query_seed,
+        ),
+        data=data,
+        partitioner_factory=lambda quota: build_partitioner(
+            technique, quota,
+            n_regions=min(config.n_regions, 512),
+        ),
+    )
+    recovery = {
+        "requests": kill_report.requests,
+        "survived": kill_report.survived,
+        "kills": kill_report.kills,
+        "respawns": kill_report.respawns,
+        "replayed_ops": kill_report.replayed_ops,
+        "degraded_fraction": kill_report.degraded_fraction,
+        "recovered_matches": (
+            kill_report.recovered_matches
+            and kill_report.digests_match
+        ),
+    }
     return {
         "technique": technique,
         "build_seconds": build_seconds,
@@ -414,6 +459,7 @@ def _bench_sharded_technique(
                 counters.get("serving.shard.routed_mutations", 0)
             ),
             "sharded_matches": sharded_matches,
+            "recovery": recovery,
         },
     }
 

@@ -143,6 +143,30 @@ _SHARDED_SCHEMA = {
         "shard_epoch_bumps": _INT_LIST_SCHEMA,
         "routed_mutations": {"type": "integer", "minimum": 0},
         "sharded_matches": {"type": "boolean"},
+        # optional (newer artifacts): the worker-kill recovery cell
+        "recovery": {
+            "type": "object",
+            "required": [
+                "requests",
+                "survived",
+                "kills",
+                "respawns",
+                "replayed_ops",
+                "degraded_fraction",
+                "recovered_matches",
+            ],
+            "properties": {
+                "requests": {"type": "integer", "minimum": 0},
+                "survived": {"type": "integer", "minimum": 0},
+                "kills": {"type": "integer", "minimum": 0},
+                "respawns": {"type": "integer", "minimum": 0},
+                "replayed_ops": {"type": "integer", "minimum": 0},
+                "degraded_fraction": {
+                    "type": "number", "minimum": 0, "maximum": 1,
+                },
+                "recovered_matches": {"type": "boolean"},
+            },
+        },
     },
 }
 

@@ -16,6 +16,10 @@ workload imports for the same reason.
 from .chaos import (
     ChaosConfig,
     ChaosReport,
+    WorkerKillConfig,
+    WorkerKillReport,
+    format_worker_kill_report,
+    run_worker_kill_chaos,
     default_plan,
     format_report,
     run_chaos,
@@ -70,4 +74,8 @@ __all__ = [
     "default_plan",
     "run_chaos",
     "format_report",
+    "WorkerKillConfig",
+    "WorkerKillReport",
+    "run_worker_kill_chaos",
+    "format_worker_kill_report",
 ]

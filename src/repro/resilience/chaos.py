@@ -37,6 +37,10 @@ __all__ = [
     "default_plan",
     "run_chaos",
     "format_report",
+    "WorkerKillConfig",
+    "WorkerKillReport",
+    "run_worker_kill_chaos",
+    "format_worker_kill_report",
 ]
 
 
@@ -209,6 +213,333 @@ def run_chaos(
         plan_seed=config.plan_seed,
         counters=counters,
     )
+
+
+@dataclass(frozen=True)
+class WorkerKillConfig:
+    """One worker-kill chaos experiment (fully seeded).
+
+    A sharded serving tier with write-ahead-logged shards is driven
+    through interleaved query batches and mutations while a seeded
+    :class:`~repro.resilience.faults.FaultPlan` decides, between
+    batches, which worker processes to SIGKILL.  The experiment
+    asserts the fault-tolerance contract: every batch is answered
+    (supervision + retry + degraded partials), and once quarantines
+    drain the recovered tier answers bit-identically to the
+    single-engine union reference.
+    """
+
+    dataset: str = "charminar"
+    n: int = 1_200
+    n_shards: int = 4
+    n_buckets: int = 24
+    n_regions: int = 256
+    workers: int = 2
+    n_batches: int = 12
+    batch_size: int = 25
+    mutations_per_batch: int = 4
+    qsize: float = 0.1
+    query_seed: int = 42
+    mutation_seed: int = 11
+    plan_seed: int = 7
+    kill_rate: float = 0.35
+    budget_steps: Optional[int] = 400
+    poll_interval: float = 0.01
+    failure_threshold: int = 3
+    reset_after_steps: int = 25
+    checkpoint_every: int = 8
+    wal_dir: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class WorkerKillReport:
+    """What a worker-kill chaos run observed."""
+
+    requests: int
+    survived: int
+    kills: int
+    respawns: int
+    replayed_ops: int
+    wal_records: int
+    checkpoints: int
+    degraded_dispatches: int
+    fanout: int
+    recovered_matches: bool
+    digests_match: bool
+    estimates_sha256: str
+    plan_seed: int
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def survival(self) -> float:
+        """Fraction of query batches answered with finite values."""
+        if self.requests == 0:
+            return 1.0
+        return self.survived / self.requests
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fraction of shard dispatches served by degraded partials."""
+        if self.fanout == 0:
+            return 0.0
+        return self.degraded_dispatches / self.fanout
+
+    @property
+    def passed(self) -> bool:
+        """The acceptance gate: nothing lost, nothing corrupted."""
+        return (
+            self.survival == 1.0
+            and self.recovered_matches
+            and self.digests_match
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "survived": self.survived,
+            "survival": self.survival,
+            "kills": self.kills,
+            "respawns": self.respawns,
+            "replayed_ops": self.replayed_ops,
+            "wal_records": self.wal_records,
+            "checkpoints": self.checkpoints,
+            "degraded_dispatches": self.degraded_dispatches,
+            "fanout": self.fanout,
+            "degraded_fraction": self.degraded_fraction,
+            "recovered_matches": self.recovered_matches,
+            "digests_match": self.digests_match,
+            "estimates_sha256": self.estimates_sha256,
+            "plan_seed": self.plan_seed,
+        }
+
+
+def run_worker_kill_chaos(
+    config: WorkerKillConfig,
+    *,
+    data: Optional[Any] = None,
+    partitioner_factory: Optional[Any] = None,
+) -> WorkerKillReport:
+    """SIGKILL shard workers mid-stream; prove nothing is lost.
+
+    The run builds a write-ahead-logged sharded tier behind a
+    supervised router, serves ``n_batches`` query batches with
+    ``mutations_per_batch`` routed mutations between them, and between
+    batches consults the seeded plan's ``chaos.worker-kill.w<i>``
+    sites to decide which workers to SIGKILL.  After the stream it
+    drains any quarantine (advancing the router's logical clock past
+    the breaker cooldown) and checks the two recovery invariants:
+
+    * the recovered tier's answer over the full query set is
+      bit-identical to the :class:`ShardUnionEstimator` reference;
+    * every worker-held shard's ``state_digest`` equals the parent's
+      authoritative copy — checkpoint + WAL replay reconstructed the
+      exact pre-crash state, not an approximation of it.
+    """
+    import os
+    import shutil
+    import signal
+    import tempfile
+
+    from ..data import make_dataset
+    from ..geometry import RectSet
+    from ..serving import ShardedHistogram, ShardRouter, \
+        attach_wals, wal_recovery
+    from ..workload import live_workload, range_queries
+    from .retry import RetryPolicy
+
+    if data is None:
+        data = make_dataset(config.dataset, config.n)
+    queries = range_queries(
+        data, config.qsize,
+        config.n_batches * config.batch_size,
+        seed=config.query_seed,
+    )
+    mutations = [
+        op for op in live_workload(
+            data, config.qsize,
+            4 * config.n_batches * config.mutations_per_batch,
+            seed=config.mutation_seed,
+            query_frac=0.0, insert_frac=0.6,
+        )
+        if op.kind != "query"
+    ]
+    wal_dir = config.wal_dir
+    cleanup = wal_dir is None
+    if wal_dir is None:
+        wal_dir = tempfile.mkdtemp(prefix="repro-worker-kill-")
+    plan = FaultPlan(config.plan_seed, (
+        FaultSpec("chaos.worker-kill.*", kind="fail",
+                  probability=config.kill_rate),
+    ))
+
+    kills = 0
+    survived = 0
+    requests = 0
+    try:
+        with OBS.scope():
+            OBS.reset()
+            try:
+                sharded = ShardedHistogram.build(
+                    data,
+                    n_shards=config.n_shards,
+                    n_buckets=config.n_buckets,
+                    n_regions=config.n_regions,
+                    partitioner_factory=partitioner_factory,
+                )
+                wals = attach_wals(
+                    sharded, wal_dir,
+                    checkpoint_every=config.checkpoint_every,
+                )
+                router = ShardRouter(
+                    sharded,
+                    workers=config.workers,
+                    recover=wal_recovery(sharded, wals),
+                    retry=RetryPolicy(max_attempts=3),
+                    budget_steps=config.budget_steps,
+                    poll_interval=config.poll_interval,
+                    failure_threshold=config.failure_threshold,
+                    reset_after_steps=config.reset_after_steps,
+                )
+                injector = FaultInjector(plan, clock=router._clock)
+                mutation_iter = iter(mutations)
+                with router:
+                    for batch_no in range(config.n_batches):
+                        if router._pool is not None:
+                            with installed(injector):
+                                kills += _kill_planned_workers(
+                                    router._pool,
+                                    kill=lambda pid: os.kill(
+                                        pid, signal.SIGKILL
+                                    ),
+                                )
+                        lo = batch_no * config.batch_size
+                        batch = RectSet(
+                            queries.coords[
+                                lo:lo + config.batch_size
+                            ],
+                            copy=False, validate=False,
+                        )
+                        requests += 1
+                        estimates = router.estimate_batch(batch)
+                        if (
+                            len(estimates) == len(batch)
+                            and bool(
+                                np.isfinite(estimates).all()
+                            )
+                        ):
+                            survived += 1
+                        for _ in range(config.mutations_per_batch):
+                            op = next(mutation_iter, None)
+                            if op is None:
+                                break
+                            if op.kind == "insert":
+                                router.insert(op.rect)
+                            else:
+                                router.delete(op.rect)
+                    # drain quarantine: past the cooldown every shard
+                    # goes recovering, and the trial serve (no more
+                    # kills) closes the loop back to healthy
+                    router._clock.advance(
+                        config.reset_after_steps + 1
+                    )
+                    router.estimate_batch(queries)
+                    final = router.estimate_batch(queries)
+                    recovered_matches = (
+                        router.degraded_shards == ()
+                        and bool(np.array_equal(
+                            final,
+                            sharded.union_estimator()
+                            .estimate_batch(queries),
+                        ))
+                    )
+                    digests_match = True
+                    if router._pool is not None:
+                        for shard in sharded.shards:
+                            parent = shard.state_digest()
+                            held = router._pool.call(
+                                shard.shard_id, "state_digest"
+                            )
+                            if held != parent:
+                                digests_match = False
+                counters: Dict[str, float] = dict(
+                    OBS.snapshot()["counters"]
+                )
+            finally:
+                OBS.reset()
+    finally:
+        if cleanup:
+            shutil.rmtree(wal_dir, ignore_errors=True)
+
+    digest = hashlib.sha256(
+        np.asarray(final, dtype=np.float64).tobytes()
+    ).hexdigest()
+    return WorkerKillReport(
+        requests=requests,
+        survived=survived,
+        kills=kills,
+        respawns=int(counters.get("serving.pool.respawns", 0)),
+        replayed_ops=int(counters.get("serving.wal.replayed", 0)),
+        wal_records=int(counters.get("serving.wal.records", 0)),
+        checkpoints=int(counters.get("serving.wal.checkpoints", 0)),
+        degraded_dispatches=int(
+            counters.get("serving.shard.degraded", 0)
+        ),
+        fanout=int(counters.get("serving.shard.fanout", 0)),
+        recovered_matches=recovered_matches,
+        digests_match=digests_match,
+        estimates_sha256=digest,
+        plan_seed=config.plan_seed,
+        counters=counters,
+    )
+
+
+def _kill_planned_workers(pool: Any, *, kill: Any) -> int:
+    """Consult the armed plan once per worker; SIGKILL the chosen.
+
+    Separated out so the decision sites are plain
+    :func:`~repro.resilience.faults.fire` calls — the same seeded
+    machinery every other chaos path uses — and the kill itself is
+    injected, which keeps the decision unit-testable without
+    signals.
+    """
+    from ..errors import ReproError
+    from .faults import fire
+
+    killed = 0
+    pids = pool.worker_pids()
+    for worker, pid in enumerate(pids):
+        try:
+            fire(f"chaos.worker-kill.w{worker}")
+        except ReproError:
+            if pid > 0:
+                kill(pid)
+                pool._procs[worker].join(timeout=10)
+                killed += 1
+    return killed
+
+
+def format_worker_kill_report(report: WorkerKillReport) -> str:
+    """Human-readable worker-kill report for the CLI."""
+    lines = [
+        f"# chaos --kill-shard-workers: {report.requests} batches, "
+        f"{report.kills} workers killed, "
+        f"survival {report.survival:.1%}",
+        f"respawns          : {report.respawns}"
+        f" (replayed ops: {report.replayed_ops})",
+        f"wal               : {report.wal_records} records, "
+        f"{report.checkpoints} checkpoints",
+        f"degraded partials : {report.degraded_dispatches}"
+        f"/{report.fanout} dispatches"
+        f" ({report.degraded_fraction:.1%})",
+        "recovered answer  : "
+        + ("bit-identical to union reference"
+           if report.recovered_matches else "MISMATCH"),
+        "worker state      : "
+        + ("digests match parent copies"
+           if report.digests_match else "DIGEST MISMATCH"),
+        f"estimates sha256  : {report.estimates_sha256}",
+    ]
+    return "\n".join(lines)
 
 
 def format_report(report: ChaosReport) -> str:

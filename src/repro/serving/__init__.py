@@ -23,7 +23,17 @@ fast without changing a single answer:
   :class:`ShardRouter` (clip, fan out inline or over a
   :class:`ShardWorkerPool` of pinned workers, sum partials), and
   :class:`ShardUnionEstimator` (the single-engine differential
-  reference).
+  reference);
+* the **fault-tolerance layer** over that tier — the
+  :class:`ShardWorkerPool` supervises its workers (logical reply
+  deadlines, typed :class:`~repro.errors.ShardWorkerError`,
+  deterministic respawn), :class:`ShardWAL` journals every shard
+  mutation with periodic checkpoints so a respawned worker replays
+  back to a bit-identical histogram (:func:`attach_wals` /
+  :func:`wal_recovery`), and :class:`ShardHealth` drives the router's
+  per-shard quarantine state machine (healthy → suspect → quarantined
+  → recovering) with degraded ``Uniform@s<id>`` partials for shards
+  it cannot reach.
 
 The serving fast paths are locked down by a differential test suite:
 batch equals the scalar loop to exact float equality, cache-on equals
@@ -44,6 +54,8 @@ from .shard import (
     ShardUnionEstimator,
     shard_quotas,
 )
+from .supervision import HEALTH_STATES, ShardHealth
+from .wal import ShardWAL, attach_wals, wal_recovery
 
 __all__ = [
     "QueryCache",
@@ -58,4 +70,9 @@ __all__ = [
     "ShardUnionEstimator",
     "ShardRouter",
     "shard_quotas",
+    "ShardHealth",
+    "HEALTH_STATES",
+    "ShardWAL",
+    "attach_wals",
+    "wal_recovery",
 ]

@@ -33,6 +33,22 @@ whatever state survives pickling is exactly the state that serves
 Replies are received in request order over per-worker FIFO pipes, and
 worker metric snapshots are merged in that same order, so results and
 counter totals are independent of scheduling.
+
+**Supervision.**  Workers are mortal.  Every reply wait runs under a
+logical :class:`~repro.resilience.clock.Deadline` on the pool's
+:class:`~repro.resilience.clock.StepClock` — wall time appears only as
+the liveness poll interval, never in any result — and watches the
+worker's exitcode, so a SIGKILLed or wedged worker surfaces as a typed
+:class:`~repro.errors.ShardWorkerError` instead of a hung ``recv``.
+A failed worker is **respawned deterministically** in its slot: its
+shards are rebuilt through the pool's recovery callable (checkpoint +
+write-ahead-log replay, see :mod:`repro.serving.wal`) when one was
+given, else re-pickled from the caller's authoritative copies, and a
+fresh process takes over the same pipe slot.  In-flight requests on
+the dead worker fail fast with the same typed error (never silently
+dropped, never served stale replies — the slot's pipe is replaced), so
+the router above can retry against the respawned worker or serve the
+shard degraded.
 """
 
 from __future__ import annotations
@@ -41,11 +57,23 @@ import multiprocessing
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing.connection import Connection
-from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, \
+    Sequence, Tuple
 
+from ..errors import DeadlineError, ShardWorkerError
 from ..obs import OBS
+from ..resilience.clock import Deadline, StepClock
 
 __all__ = ["parallel_map", "ShardWorkerPool"]
+
+#: Default per-reply logical budget: with the default poll interval
+#: this bounds a silent pipe to a few seconds before the worker is
+#: declared wedged.
+DEFAULT_REPLY_BUDGET_STEPS = 200
+
+#: Seconds per liveness poll.  Used for waiting only — results never
+#: depend on it (the step clock carries the deadline semantics).
+DEFAULT_POLL_INTERVAL = 0.025
 
 
 def _run_chunk(
@@ -178,8 +206,12 @@ def _shard_worker_main(
     conn.close()
 
 
+#: Placeholder for a request whose reply has not been collected yet.
+_PENDING = object()
+
+
 class ShardWorkerPool:
-    """Long-lived workers, each pinned to a fixed set of shards.
+    """Long-lived supervised workers, each pinned to fixed shards.
 
     Parameters
     ----------
@@ -189,44 +221,281 @@ class ShardWorkerPool:
         lives on worker ``i % workers`` forever after.
     workers:
         Process count (clamped to the shard count).
+    recover:
+        Optional shard id → fresh shard callable used when a worker is
+        respawned (the WAL checkpoint-and-replay path,
+        :func:`repro.serving.wal.wal_recovery`).  When omitted, the
+        original objects in ``shards`` are re-pickled — valid whenever
+        the caller keeps those copies authoritative, as the router
+        does.
+    budget_steps:
+        Logical step budget per reply wait (``None`` = unlimited,
+        which re-opens the hang-forever hole and is only for tests).
+    poll_interval:
+        Seconds per liveness poll while waiting on a reply.
     """
 
     def __init__(
-        self, shards: Mapping[int, Any], *, workers: int
+        self,
+        shards: Mapping[int, Any],
+        *,
+        workers: int,
+        recover: Optional[Callable[[int], Any]] = None,
+        budget_steps: Optional[int] = DEFAULT_REPLY_BUDGET_STEPS,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
     ) -> None:
         ids = sorted(shards)
         if not ids:
             raise ValueError("cannot pool zero shards")
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
         self.workers = max(1, min(workers, len(ids)))
         self._worker_of = {
             sid: i % self.workers for i, sid in enumerate(ids)
         }
-        payloads: List[Dict[int, bytes]] = [
-            {} for _ in range(self.workers)
-        ]
-        for sid in ids:
-            payloads[self._worker_of[sid]][sid] = pickle.dumps(
-                shards[sid]
-            )
-        ctx = multiprocessing.get_context()
-        self._conns: List[Connection] = []
-        self._procs: List[multiprocessing.process.BaseProcess] = []
+        self._shards: Dict[int, Any] = {
+            sid: shards[sid] for sid in ids
+        }
+        self._recover = recover
+        self._budget_steps = budget_steps
+        self._poll_interval = poll_interval
+        self._clock = StepClock()
+        self.respawns = 0
+        self._ctx = multiprocessing.get_context()
+        conns: List[Connection] = []
+        procs: List[multiprocessing.process.BaseProcess] = []
+        self._conns: Optional[List[Connection]] = conns
+        self._procs: List[multiprocessing.process.BaseProcess] = procs
         for w in range(self.workers):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_shard_worker_main,
-                args=(child_conn, payloads[w]),
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
+            conn, proc = self._spawn(w)
+            conns.append(conn)
+            procs.append(proc)
+
+    def _payload(self, worker: int) -> Dict[int, bytes]:
+        """Pickled shard payload for one worker slot (id order)."""
+        return {
+            sid: pickle.dumps(self._shards[sid])
+            for sid, w in self._worker_of.items()
+            if w == worker
+        }
+
+    def _spawn(
+        self, worker: int
+    ) -> Tuple[Connection, multiprocessing.process.BaseProcess]:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn, self._payload(worker)),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return parent_conn, proc
 
     # ------------------------------------------------------------------
     def worker_of(self, shard_id: int) -> int:
         """Index of the worker pinned to ``shard_id``."""
         return self._worker_of[shard_id]
+
+    def worker_pids(self) -> List[int]:
+        """Live worker process ids, by worker index.
+
+        The chaos harness kills these with SIGKILL to prove the
+        supervision/replay path; anything else should treat them as
+        opaque.
+        """
+        return [
+            proc.pid if proc.pid is not None else -1
+            for proc in self._procs
+        ]
+
+    # ------------------------------------------------------------------
+    # supervision
+    # ------------------------------------------------------------------
+    def respawn(self, worker: int) -> None:
+        """Replace worker ``worker`` with a fresh process.
+
+        Deterministic: the slot keeps its shard set; each shard is
+        rebuilt through the recovery callable (checkpoint + WAL
+        replay) when one was given, else re-pickled from the caller's
+        authoritative copies.  The old process is terminated (then
+        killed) if still alive, so a wedged worker cannot leak.
+        """
+        if self._conns is None:
+            raise RuntimeError("pool is closed")
+        proc = self._procs[worker]
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=10)
+        try:
+            self._conns[worker].close()
+        except OSError:
+            pass
+        if self._recover is not None:
+            for sid, w in self._worker_of.items():
+                if w == worker:
+                    self._shards[sid] = self._recover(sid)
+        conn, proc = self._spawn(worker)
+        self._conns[worker] = conn
+        self._procs[worker] = proc
+        self.respawns += 1
+        if OBS.enabled:
+            OBS.add("serving.pool.respawns")
+            OBS.add(f"serving.pool.respawns.w{worker}")
+
+    def _down_error(
+        self, worker: int, shard_id: int, pending: int, reason: str
+    ) -> ShardWorkerError:
+        return ShardWorkerError(
+            f"shard worker {worker} serving shard {shard_id} "
+            f"{reason}",
+            hint=(
+                f"{pending} request(s) were pending on the worker; "
+                "it was respawned from its shards' checkpoints/WAL — "
+                "retry the request or serve the shard degraded"
+            ),
+        )
+
+    def _recv_reply(
+        self, worker: int, shard_id: int, pending: int
+    ) -> Tuple[Any, Optional[Dict[str, Any]], Optional[str]]:
+        """One reply from ``worker`` under the logical deadline.
+
+        Wall time appears only as the liveness poll interval; progress
+        toward the budget is charged on the pool's step clock (one
+        step per empty poll), so the deadline semantics stay logical.
+        Raises :class:`DeadlineError` on a wedged worker and
+        :class:`ShardWorkerError` on a dead one — never blocks
+        forever on a silent pipe.
+        """
+        assert self._conns is not None
+        conn = self._conns[worker]
+        proc = self._procs[worker]
+        deadline = Deadline(self._clock, self._budget_steps)
+        while True:
+            deadline.check(f"reply from shard {shard_id}")
+            if conn.poll(self._poll_interval):
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise self._down_error(
+                        worker, shard_id, pending,
+                        "hung up mid-reply",
+                    ) from exc
+                result, snapshot, error = reply
+                return result, snapshot, error
+            if not proc.is_alive():
+                raise self._down_error(
+                    worker, shard_id, pending,
+                    f"died (exitcode {proc.exitcode})",
+                )
+            self._clock.advance(1)
+
+    def _fail_worker(
+        self,
+        worker: int,
+        outstanding: Dict[int, List[int]],
+        results: List[Any],
+        error: ShardWorkerError,
+    ) -> None:
+        """Fail every request still pending on ``worker``; respawn."""
+        for pos in outstanding[worker]:
+            results[pos] = error
+        outstanding[worker].clear()
+        if OBS.enabled:
+            OBS.add("serving.pool.worker_failures")
+        self.respawn(worker)
+
+    # ------------------------------------------------------------------
+    # requests
+    # ------------------------------------------------------------------
+    def try_call_many(
+        self,
+        requests: Sequence[Tuple[int, str, Tuple[Any, ...]]],
+    ) -> List[Any]:
+        """Supervised :meth:`call_many`: per-request result or error.
+
+        Position ``i`` of the returned list holds either the request's
+        result or the :class:`ShardWorkerError` it failed with — a
+        dead or wedged worker fails every request outstanding on it
+        (fast, typed, never a hang) and is respawned exactly once,
+        while requests on healthy workers complete normally.  Every
+        healthy reply is collected before returning, so no stale reply
+        can leak into a later batch.
+        """
+        if self._conns is None:
+            raise RuntimeError("pool is closed")
+        collect = OBS.enabled
+        results: List[Any] = [_PENDING] * len(requests)
+        outstanding: Dict[int, List[int]] = {
+            w: [] for w in range(self.workers)
+        }
+        down: Dict[int, ShardWorkerError] = {}
+        for pos, (sid, method, args) in enumerate(requests):
+            worker = self._worker_of[sid]
+            if worker in down:
+                results[pos] = down[worker]
+                continue
+            try:
+                self._conns[worker].send(
+                    ("call", sid, method, tuple(args), collect)
+                )
+            except (BrokenPipeError, OSError):
+                error = self._down_error(
+                    worker, sid, len(outstanding[worker]),
+                    "is gone (request pipe closed)",
+                )
+                results[pos] = error
+                down[worker] = error
+                self._fail_worker(
+                    worker, outstanding, results, error
+                )
+                continue
+            outstanding[worker].append(pos)
+        for pos, (sid, _method, _args) in enumerate(requests):
+            if results[pos] is not _PENDING:
+                continue
+            worker = self._worker_of[sid]
+            if not outstanding[worker] \
+                    or outstanding[worker][0] != pos:
+                # failed en masse when its worker went down
+                continue
+            try:
+                result, snapshot, error = self._recv_reply(
+                    worker, sid, len(outstanding[worker])
+                )
+            except DeadlineError as exc:
+                wedged = self._down_error(
+                    worker, sid, len(outstanding[worker]),
+                    f"wedged past its reply budget ({exc})",
+                )
+                wedged.__cause__ = exc
+                self._fail_worker(
+                    worker, outstanding, results, wedged
+                )
+                continue
+            except ShardWorkerError as dead:
+                self._fail_worker(
+                    worker, outstanding, results, dead
+                )
+                continue
+            outstanding[worker].pop(0)
+            if error is not None:
+                results[pos] = ShardWorkerError(
+                    f"shard worker for shard {sid} failed: {error}",
+                    hint=(
+                        "the worker survives; the failure came from "
+                        "the shard method itself"
+                    ),
+                )
+                continue
+            if collect and snapshot:
+                OBS.merge_snapshot(snapshot)
+            results[pos] = result
+        return results
 
     def call_many(
         self,
@@ -239,25 +508,16 @@ class ShardWorkerPool:
         request order (per-worker pipes are FIFO), and worker metric
         snapshots are merged in that same order — results and counter
         totals match an inline serve exactly.
+
+        Reply collection honors the pool's deadline: a dead or wedged
+        worker raises a :class:`ShardWorkerError` naming the shard and
+        the pending requests (after every healthy reply was collected
+        and the failed worker respawned) instead of blocking forever.
         """
-        if self._conns is None:
-            raise RuntimeError("pool is closed")
-        collect = OBS.enabled
-        for sid, method, args in requests:
-            self._conns[self._worker_of[sid]].send(
-                ("call", sid, method, tuple(args), collect)
-            )
-        results: List[Any] = []
-        for sid, _method, _args in requests:
-            reply = self._conns[self._worker_of[sid]].recv()
-            result, snapshot, error = reply
-            if error is not None:
-                raise RuntimeError(
-                    f"shard worker for shard {sid} failed: {error}"
-                )
-            if collect and snapshot:
-                OBS.merge_snapshot(snapshot)
-            results.append(result)
+        results = self.try_call_many(requests)
+        for result in results:
+            if isinstance(result, ShardWorkerError):
+                raise result
         return results
 
     def call(
@@ -274,31 +534,57 @@ class ShardWorkerPool:
     ) -> None:
         """Fire-and-forget request (mutations).  No reply, no
         metrics: the caller already applied — and counted — the same
-        operation on its own copy of the shard."""
+        operation on its own copy of the shard.  A dead worker is
+        respawned instead of re-sent to: the caller applied the
+        mutation before casting, so recovery (WAL replay or the
+        authoritative copy) already contains it and re-sending would
+        double-apply."""
         if self._conns is None:
             raise RuntimeError("pool is closed")
-        self._conns[self._worker_of[shard_id]].send(
-            ("cast", shard_id, method, tuple(args), False)
-        )
+        worker = self._worker_of[shard_id]
+        try:
+            self._conns[worker].send(
+                ("cast", shard_id, method, tuple(args), False)
+            )
+        except (BrokenPipeError, OSError):
+            if OBS.enabled:
+                OBS.add("serving.pool.worker_failures")
+            self.respawn(worker)
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop every worker and release the pipes (idempotent)."""
+        """Stop every worker and release the pipes (idempotent).
+
+        Crash-safe: a pipe whose worker already died must not abort
+        the shutdown of the rest — the shutdown message is best
+        effort, every process is joined, terminated if it ignores the
+        message, and killed if it ignores the terminate, so no worker
+        leaks even when ``__exit__`` runs during an in-flight
+        failure.
+        """
         if self._conns is None:
             return
-        for conn in self._conns:
+        conns, procs = self._conns, self._procs
+        self._conns = None
+        self._procs = []
+        for conn in conns:
             try:
                 conn.send(None)
-            except (BrokenPipeError, OSError):
+            except (BrokenPipeError, OSError, ValueError):
                 pass
-        for proc in self._procs:
+        for proc in procs:
             proc.join(timeout=10)
             if proc.is_alive():
                 proc.terminate()
-        for conn in self._conns:
-            conn.close()
-        self._conns = None  # type: ignore[assignment]
-        self._procs = []
+                proc.join(timeout=10)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=10)
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "ShardWorkerPool":
         return self

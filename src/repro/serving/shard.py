@@ -43,8 +43,11 @@ current buckets and recomputed whenever the shard's epoch moves.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, \
+    Optional, Sequence, Tuple
 
 import numpy as np
 import numpy.typing as npt
@@ -67,6 +70,9 @@ from ..resilience import (
     StepClock,
 )
 from .engine import DEFAULT_CACHE_SIZE, BatchServingEngine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .wal import ShardWAL
 
 __all__ = [
     "ShardPlan",
@@ -315,6 +321,9 @@ class HistogramShard:
         self.engine: Optional[BatchServingEngine] = None
         self._routing_epoch = -1
         self._routing_box: Optional[Rect] = None
+        self._wal: Optional["ShardWAL"] = None
+        self._degraded_est: Optional[UniformEstimator] = None
+        self._degraded_epoch = -1
         if len(data) > 0:
             self._create(data)
 
@@ -323,6 +332,11 @@ class HistogramShard:
             self._partitioner, data,
             drift_threshold=self._drift_threshold,
         )
+        self._build_stack(data)
+
+    def _build_stack(self, data: RectSet) -> None:
+        """Estimator/chain/engine around the current histogram."""
+        assert self.hist is not None
         self.estimator = MaintainedEstimator(
             self.hist, name=self._partitioner.name
         )
@@ -397,9 +411,10 @@ class HistogramShard:
                 RectSet(coords, copy=False, validate=False)
             )
             self._epoch_base += 1
-            return
-        self.hist.insert(rect)
-        self._maybe_refresh()
+        else:
+            self.hist.insert(rect)
+            self._maybe_refresh()
+        self._log_op("insert", rect)
 
     def delete(self, rect: Rect) -> bool:
         if self.hist is None:
@@ -407,6 +422,7 @@ class HistogramShard:
         accepted = self.hist.delete(rect)
         if accepted:
             self._maybe_refresh()
+            self._log_op("delete", rect)
         return accepted
 
     def apply_op(self, kind: str, rect: Rect) -> bool:
@@ -423,6 +439,120 @@ class HistogramShard:
             and self.hist.needs_refresh
         ):
             self.hist.refresh()
+
+    # ------------------------------------------------------------------
+    # write-ahead logging + recovery
+    # ------------------------------------------------------------------
+    def attach_wal(self, wal: "ShardWAL") -> None:
+        """Journal every accepted mutation from now on.
+
+        Only the authoritative (parent) copy holds a WAL: worker
+        copies drop the handle at the pickle boundary, so each
+        mutation is journaled exactly once.
+        """
+        self._wal = wal
+
+    def _log_op(self, kind: str, rect: Rect) -> None:
+        if self._wal is not None:
+            self._wal.record(kind, rect)
+            self._wal.maybe_checkpoint(self)
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """JSON-serialisable full mutable state (checkpoint body)."""
+        hist_state = (
+            self.hist.state() if self.hist is not None else None
+        )
+        return {
+            "shard_id": self.shard_id,
+            "epoch_base": self._epoch_base,
+            "hist": hist_state,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`snapshot_state` capture bit-identically.
+
+        The histogram is rebuilt via
+        :meth:`~repro.core.maintenance.MaintainedHistogram.from_state`
+        (no re-partitioning — drifted bucket statistics are restored
+        verbatim) and the serving stack re-created around it; caches,
+        indexes and routing boxes start cold and rebuild on demand.
+        """
+        self._epoch_base = int(state["epoch_base"])
+        hist_state = state["hist"]
+        if hist_state is None:
+            self.hist = None
+            self.estimator = None
+            self.chain = None
+            self.engine = None
+        else:
+            self.hist = MaintainedHistogram.from_state(
+                self._partitioner, hist_state,
+                drift_threshold=self._drift_threshold,
+            )
+            self._build_stack(self.hist.current_data())
+        self._routing_epoch = -1
+        self._routing_box = None
+        self._degraded_est = None
+        self._degraded_epoch = -1
+
+    def state_digest(self) -> str:
+        """SHA-256 over the canonical snapshot (the bit-identity
+        gate: a recovered worker copy must digest equal to the
+        authoritative copy)."""
+        body = json.dumps(
+            self.snapshot_state(), sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+    def clone_unbuilt(self) -> "HistogramShard":
+        """A fresh, empty shard with this shard's configuration —
+        the recovery template :meth:`ShardWAL.recover` fills in."""
+        return HistogramShard(
+            self.shard_id,
+            self.box,
+            self._partitioner,
+            RectSet.empty(),
+            drift_threshold=self._drift_threshold,
+            cache_size=self._cache_size,
+            auto_index=self._auto_index,
+            auto_refresh=self._auto_refresh,
+            guarded=self._guarded,
+        )
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Drop the WAL handle at the pickle boundary: a worker copy
+        replays mutations that the parent already journaled, and must
+        never journal them again."""
+        state = dict(self.__dict__)
+        state["_wal"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._wal = None
+
+    # ------------------------------------------------------------------
+    # degraded serving (the quarantine partial)
+    # ------------------------------------------------------------------
+    def degraded_estimator(self) -> Optional[UniformEstimator]:
+        """The shard's ``Uniform@s<id>`` last resort, parent-side.
+
+        Built over the live data and cached per epoch.  The router
+        serves a quarantined or repeatedly failing shard's partial
+        through this estimator directly — never through the engine,
+        so degraded answers are never cached.  ``None`` means the
+        shard holds no data and its partial is exactly zero.
+        """
+        if self.hist is None or len(self.hist) == 0:
+            return None
+        if self._degraded_epoch != self.epoch \
+                or self._degraded_est is None:
+            est = UniformEstimator(self.hist.current_data())
+            est.name = f"Uniform@s{self.shard_id}"
+            self._degraded_est = est
+            self._degraded_epoch = self.epoch
+        return self._degraded_est
 
     def __repr__(self) -> str:
         return (

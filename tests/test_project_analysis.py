@@ -944,6 +944,30 @@ class TestMutationSelfTest:
             "without __setstate__" in v.message for v in pickled
         )
 
+    def test_removing_deadline_check_fires_res002(self, tree_copy):
+        parallel = tree_copy / "serving" / "parallel.py"
+        source = parallel.read_text()
+        guarded = (
+            'deadline.check(f"reply from shard {shard_id}")\n'
+        )
+        assert guarded in source, (
+            "_recv_reply no longer matches the mutation template; "
+            "update this test alongside the worker pool"
+        )
+        parallel.write_text(source.replace(guarded, "pass\n"))
+        result = lint_project([tree_copy])
+        fired = [
+            v for v in result.violations if v.rule == "RES002"
+        ]
+        assert fired, "\n".join(
+            v.format() for v in result.violations
+        )
+        assert any(
+            "not dominated by a deadline" in v.message
+            for v in fired
+        )
+        assert main(["lint", "--project", str(tree_copy)]) == 1
+
     def test_cli_exits_nonzero_on_mutated_tree(self, tree_copy):
         engine = tree_copy / "serving" / "engine.py"
         source = engine.read_text()

@@ -331,11 +331,16 @@ class TestShardWorkerPool:
             pooled_counters = serve(pooled)
         assert inline_counters == pooled_counters
 
-    def test_worker_failure_surfaces_as_runtime_error(self):
+    def test_worker_failure_surfaces_as_typed_error(self):
+        from repro.errors import ShardWorkerError
+
         with ShardRouter(_build(), workers=2) as pooled:
             pool = pooled._pool
-            with pytest.raises(RuntimeError, match="no_such"):
+            with pytest.raises(ShardWorkerError, match="no_such"):
                 pool.call(0, "no_such_method")
+            # the worker survives a method-level failure and the pool
+            # keeps serving healthy requests afterwards
+            assert isinstance(pool.call(0, "state_digest"), str)
 
 
 class TestEnginePickleRevalidation:
