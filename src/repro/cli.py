@@ -253,6 +253,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.shard_workers < 1:
             raise SystemExit("--shard-workers must be >= 1")
         changes["shard_workers"] = args.shard_workers
+    if args.concurrency is not None:
+        if args.concurrency < 1:
+            raise SystemExit("--concurrency must be >= 1")
+        changes["concurrency"] = args.concurrency
+    if args.max_batch is not None:
+        if args.max_batch < 1:
+            raise SystemExit("--max-batch must be >= 1")
+        changes["server_max_batch"] = args.max_batch
+    if args.window is not None:
+        if args.window < 1:
+            raise SystemExit("--window must be >= 1")
+        changes["server_window"] = args.window
     if args.datasets:
         pairs = []
         for spec in args.datasets.split(","):
@@ -275,14 +287,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     if changes:
         config = config.replace(**changes)
-    if config.engine == "sharded":
+    if config.engine in ("sharded", "server"):
         from .eval import BUCKET_TECHNIQUES
         kept = tuple(t for t in config.techniques
                      if t in BUCKET_TECHNIQUES)
         if not kept:
             raise SystemExit(
-                "engine='sharded' needs at least one bucket-based "
-                f"technique; choose from {BUCKET_TECHNIQUES}"
+                f"engine={config.engine!r} needs at least one "
+                f"bucket-based technique; choose from "
+                f"{BUCKET_TECHNIQUES}"
             )
         if kept != config.techniques:
             config = config.replace(techniques=kept)
@@ -328,8 +341,96 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     line += " SHARD-MISMATCH"
                 if not shard["owner_only_invalidation"]:
                     line += " CROSS-SHARD-INVALIDATION"
+            if "server" in tech:
+                server = tech["server"]
+                line += (
+                    f" qps={server['batched_qps']:8.0f} "
+                    f"p50={server['p50_ms']:.1f}ms "
+                    f"p99={server['p99_ms']:.1f}ms "
+                    f"batch={server['avg_batch']:.1f} "
+                    f"vs-single={server['speedup']:.2f}x"
+                )
+                if not server["server_matches"]:
+                    line += " SERVER-MISMATCH"
             print(line)
     print(f"wrote {path}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro-spatial serve``: the micro-batching TCP front door.
+
+    Builds the estimator (or the sharded scatter-gather tier with
+    ``--shards``), binds the asyncio server, prints the bound address,
+    and serves until interrupted.  The sharded tier accepts
+    ``insert``/``delete`` ops over the wire; a direct engine is
+    read-only and answers mutations with a typed error.
+    """
+    import asyncio
+
+    from .serving import FrontDoor
+
+    data = _load_data(args)
+    closer = None
+    if args.shards > 0:
+        from .eval import BUCKET_TECHNIQUES, build_partitioner
+        from .serving import ShardedHistogram, ShardRouter
+
+        if args.technique not in BUCKET_TECHNIQUES:
+            raise SystemExit(
+                f"--shards needs a bucket-based technique; choose "
+                f"from {BUCKET_TECHNIQUES}"
+            )
+        sharded = ShardedHistogram.build(
+            data,
+            n_shards=args.shards,
+            n_buckets=args.buckets,
+            partitioner_factory=lambda quota: build_partitioner(
+                args.technique, quota, n_regions=args.regions
+            ),
+            n_regions=args.regions,
+        )
+        router = ShardRouter(sharded, workers=args.shard_workers)
+        backend = router
+        closer = router.close
+        detail = f"{args.shards}-shard tier"
+    else:
+        from .eval import build_estimator
+        from .serving import BatchServingEngine
+
+        backend = BatchServingEngine(build_estimator(
+            args.technique, data, args.buckets,
+            n_regions=args.regions,
+        ))
+        detail = "direct engine (read-only)"
+
+    door = FrontDoor(
+        backend,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_steps=args.wait_steps,
+        max_pending=args.max_pending,
+    )
+
+    async def run() -> None:
+        await door.start()
+        print(
+            f"# front door on {door.host}:{door.port} — "
+            f"{args.technique} over {len(data)} rects, {detail}, "
+            f"max_batch={args.max_batch}, "
+            f"max_wait_steps={args.wait_steps}",
+            flush=True,
+        )
+        await door.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if closer is not None:
+            closer()
     return 0
 
 
@@ -495,6 +596,7 @@ def _cmd_chaos_worker_kill(args: argparse.Namespace) -> int:
         qsize=args.qsize,
         plan_seed=args.plan_seed,
         kill_rate=args.fault_rate,
+        through_server=args.through_server,
     )
     report_ = run_worker_kill_chaos(config)
     if args.format == "json":
@@ -698,11 +800,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="artifact name (BENCH_<name>.json)")
     p.add_argument(
         "--engine", default=None,
-        choices=("scalar", "batch", "sharded"),
+        choices=("scalar", "batch", "sharded", "server"),
         help="estimation path: plain per-technique batch call, the "
              "serving engine with cache+index and a measured speedup "
-             "vs the scalar loop, or the sharded scatter-gather "
-             "router gated against the single-engine reference",
+             "vs the scalar loop, the sharded scatter-gather "
+             "router gated against the single-engine reference, or "
+             "the micro-batching TCP front door measuring p50/p99 "
+             "latency and the speedup over single-query-per-call "
+             "dispatch",
+    )
+    p.add_argument(
+        "--concurrency", type=int, default=None, metavar="C",
+        help="load-generator client processes for engine=server "
+             "(default: 4)",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=None, metavar="B",
+        help="micro-batch size cap for engine=server (default: 64)",
+    )
+    p.add_argument(
+        "--window", type=int, default=None, metavar="W",
+        help="per-client pipelining window for engine=server "
+             "(default: 64)",
     )
     p.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -739,6 +858,39 @@ def build_parser() -> argparse.ArgumentParser:
              "on config and seeds (resume becomes byte-identical)",
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the micro-batching TCP front door: single-rect "
+             "JSON frames in, coalesced engine batches underneath",
+    )
+    _add_dataset_args(p)
+    p.add_argument("--technique", default="Min-Skew",
+                   choices=list(ALL_TECHNIQUES))
+    p.add_argument("--buckets", type=int, default=50)
+    p.add_argument("--regions", type=int, default=10_000)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default: 0, pick a free port and "
+                        "print it)")
+    p.add_argument(
+        "--shards", type=int, default=0, metavar="K",
+        help="serve through the K-shard scatter-gather tier (accepts "
+             "insert/delete ops); 0 = direct engine, read-only "
+             "(default: 0)",
+    )
+    p.add_argument("--shard-workers", type=int, default=1, metavar="N",
+                   help="router worker processes for --shards "
+                        "(default: 1, inline)")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="micro-batch size cap (default: 64)")
+    p.add_argument("--wait-steps", type=int, default=4,
+                   help="logical-wait trigger in event-loop passes "
+                        "(default: 4; 0 disables)")
+    p.add_argument("--max-pending", type=int, default=2048,
+                   help="admission bound on queued operations "
+                        "(default: 2048)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "serve-live",
@@ -812,6 +964,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shard-workers", type=int, default=2,
                    help="worker processes for --kill-shard-workers "
                         "(default: 2)")
+    p.add_argument("--through-server", action="store_true",
+                   help="with --kill-shard-workers: serve every "
+                        "batch through the micro-batching front door "
+                        "over TCP, killing workers while client "
+                        "requests are in flight; a client hanging "
+                        "past its deadline fails the run")
     p.add_argument("--format", default="text",
                    choices=("text", "json"))
     p.set_defaults(func=_cmd_chaos)

@@ -32,6 +32,7 @@ __all__ = [
     "EstimatorFailedError",
     "FallbackExhaustedError",
     "ShardWorkerError",
+    "OverloadedError",
     "DeadlineError",
     "StorageError",
     "ArtifactMissingError",
@@ -102,6 +103,17 @@ class ShardWorkerError(EstimationError):
     worker (replaying its write-ahead log), so the same request is
     expected to succeed on a fresh process; a shard that keeps failing
     is quarantined by the router and served degraded instead."""
+
+    retryable = True
+
+
+class OverloadedError(EstimationError):
+    """The serving front door shed this request instead of queueing it
+    unboundedly: the pending queue hit its admission bound, or the
+    ingress circuit breaker is open after repeated dispatch failures.
+    Retryable by design — the shed exists so a backed-up tier drains
+    instead of accumulating latency, and a later attempt is expected
+    to be admitted."""
 
     retryable = True
 

@@ -69,6 +69,7 @@ __all__ = [
     "FULL_CONFIG",
     "SERVING_CONFIG",
     "LIVE_CONFIG",
+    "SERVER_CONFIG",
     "measure_overhead",
     "run_bench",
     "write_bench",
@@ -102,7 +103,13 @@ class BenchConfig:
     #: ``"sharded"`` serves through the scatter-gather
     #: :class:`repro.serving.ShardRouter` over ``n_shards`` Min-Skew
     #: shard boxes and differentially gates the answers against the
-    #: single-engine union reference (see ``sharded_matches``).
+    #: single-engine union reference (see ``sharded_matches``);
+    #: ``"server"`` serves through the asyncio micro-batching
+    #: :class:`repro.serving.FrontDoor` with ``concurrency``
+    #: closed-loop TCP clients, records client-observed p50/p99
+    #: latency and qps for the batched and the ``max_batch=1``
+    #: single-dispatch runs, and differentially gates both against
+    #: the direct engine (see ``server_matches``).
     engine: str = "scalar"
     #: Worker processes for the per-technique cells (1 = in-process).
     workers: int = 1
@@ -119,6 +126,19 @@ class BenchConfig:
     n_shards: int = 4
     #: Router worker processes for the sharded tier (1 = inline).
     shard_workers: int = 1
+    #: Load-generator processes of the front-door run
+    #: (``engine="server"``): each drives one pipelined TCP
+    #: connection of single-rect frames.
+    concurrency: int = 4
+    #: Micro-batch size cap of the front-door run.
+    server_max_batch: int = 64
+    #: Logical-wait trigger of the front-door batcher (StepClock
+    #: steps a head-of-queue query may wait before a partial batch
+    #: fires; 0 disables the wait trigger).
+    server_wait_steps: int = 4
+    #: Pipelining window per client: frames sent back to back before
+    #: the client reads that window's responses.
+    server_window: int = 64
 
     def replace(self, **changes: Any) -> "BenchConfig":
         from dataclasses import replace
@@ -177,6 +197,28 @@ LIVE_CONFIG = BenchConfig(
     techniques=("Min-Skew", "Equi-Count", "Grid"),
     engine="live",
     live_ops=800,
+)
+
+#: The front-door latency/throughput workload: the paper's 10 000-query
+#: Charminar workload issued as single-rect frames by four pipelined
+#: client processes against the sharded scatter-gather tier, coalesced
+#: by the micro-batcher into engine batches, and compared against the
+#: *same* server pinned to ``max_batch=1`` (single-query-per-call
+#: dispatch).  The committed baseline is the micro-batching speedup CI
+#: quotes; answers on both paths are gated bit-for-bit against the
+#: direct router call (``server.server_matches``).
+SERVER_CONFIG = BenchConfig(
+    name="server",
+    datasets=(("charminar", 6_000),),
+    n_buckets=40,
+    n_regions=10_000,
+    n_queries=10_000,
+    techniques=("Min-Skew",),
+    engine="server",
+    n_shards=4,
+    concurrency=4,
+    server_max_batch=128,
+    server_window=128,
 )
 
 
@@ -273,6 +315,18 @@ def _scrub_cell(cell: Dict[str, Any]) -> Dict[str, Any]:
     if isinstance(sharded, dict):
         sharded["single_engine_seconds"] = 0.0
         sharded["replay_seconds"] = 0.0
+    server = cell.get("server")
+    if isinstance(server, dict):
+        # batch composition depends on event-loop timing, so every
+        # derived quantity is wall-clock-tainted except the request
+        # count, the knobs, and the bit-identity verdict
+        for key in (
+            "batches", "avg_batch", "shed",
+            "batched_seconds", "batched_qps", "p50_ms", "p99_ms",
+            "single_seconds", "single_qps",
+            "single_p50_ms", "single_p99_ms", "speedup",
+        ):
+            server[key] = 0 if key in ("batches", "shed") else 0.0
     return cell
 
 
@@ -575,6 +629,255 @@ def _bench_live_technique(
     }
 
 
+def _frontdoor_client(
+    host: str,
+    port: int,
+    coords: "npt.NDArray[np.float64]",
+    rows: "npt.NDArray[np.int64]",
+    window: int,
+    out_q: Any,
+    barrier: Any,
+) -> None:
+    """One load-generator process: windowed pipelining over a raw
+    socket.
+
+    Sends ``window`` single-rect frames back to back, then reads that
+    window's responses before sending the next — the closed-loop
+    pipelined client every serving benchmark models.  Runs in a child
+    process so client-side CPU (framing, JSON) never contends with the
+    server's event loop for the GIL; the barrier keeps process startup
+    out of the measured window.  Per-request latency is the gap from
+    the window's send to that response's arrival.
+    """
+    import socket
+
+    from ..serving.frontdoor import encode_frame
+
+    sock = socket.create_connection((host, port))
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    n = len(rows)
+    values = np.zeros(n, dtype=np.float64)
+    latencies = np.zeros(n, dtype=np.float64)
+    position = {int(rid): k for k, rid in enumerate(rows)}
+    barrier.wait()
+    try:
+        buffer = bytearray()
+        for start in range(0, n, window):
+            chunk = rows[start:start + window]
+            frames = b"".join(
+                encode_frame({
+                    "id": int(rid),
+                    "op": "estimate",
+                    "rect": [
+                        float(v) for v in coords[position[int(rid)]]
+                    ],
+                })
+                for rid in chunk
+            )
+            t0 = time.perf_counter()
+            sock.sendall(frames)
+            got = 0
+            while got < len(chunk):
+                data = sock.recv(1 << 16)
+                if not data:
+                    raise ConnectionError(
+                        "front door closed the connection"
+                    )
+                buffer.extend(data)
+                while got < len(chunk) and len(buffer) >= 4:
+                    length = int.from_bytes(buffer[:4], "big")
+                    if len(buffer) < 4 + length:
+                        break
+                    response = json.loads(bytes(buffer[4:4 + length]))
+                    del buffer[:4 + length]
+                    arrived = time.perf_counter()
+                    k = position[int(response["id"])]
+                    values[k] = float(response["value"])
+                    latencies[k] = arrived - t0
+                    got += 1
+    finally:
+        sock.close()
+    out_q.put((rows, values, latencies))
+
+
+def _frontdoor_run(
+    backend: Any,
+    queries: "RectSet",
+    *,
+    concurrency: int,
+    max_batch: int,
+    wait_steps: int,
+    window: int,
+) -> Tuple["npt.NDArray[np.float64]", "npt.NDArray[np.float64]",
+           float, Dict[str, float]]:
+    """Serve ``queries`` through a front door over ``backend``.
+
+    ``concurrency`` client processes split the workload and drive it
+    with ``window``-deep pipelining (:func:`_frontdoor_client`).
+    Returns ``(values, per-request latencies in seconds, wall seconds,
+    batcher stats)``.  The caller passes a stateless backend (shard
+    caches off) so the batched and the ``max_batch=1`` run see
+    identical per-dispatch work regardless of order.
+    """
+    import multiprocessing as mp
+
+    from ..serving import FrontDoorThread
+
+    coords = queries.coords
+    n = len(queries)
+    front = FrontDoorThread(
+        backend, max_batch=max_batch, max_wait_steps=wait_steps
+    )
+    front.start()
+    try:
+        ctx = mp.get_context("spawn")
+        out_q = ctx.Queue()
+        n_clients = max(1, min(concurrency, n))
+        barrier = ctx.Barrier(n_clients + 1)
+        slices = np.array_split(
+            np.arange(n, dtype=np.int64), n_clients
+        )
+        procs = [
+            ctx.Process(
+                target=_frontdoor_client,
+                args=(front.host, front.port, coords[rows], rows,
+                      max(1, window), out_q, barrier),
+            )
+            for rows in slices
+        ]
+        for proc in procs:
+            proc.start()
+        barrier.wait()
+        t0 = time.perf_counter()
+        values = np.zeros(n, dtype=np.float64)
+        latencies = np.zeros(n, dtype=np.float64)
+        for _ in procs:
+            rows, part_values, part_latencies = out_q.get()
+            values[rows] = part_values
+            latencies[rows] = part_latencies
+        seconds = time.perf_counter() - t0
+        for proc in procs:
+            proc.join(timeout=30.0)
+        stats = front.stats()
+    finally:
+        front.stop()
+    return values, latencies, seconds, stats
+
+
+def _bench_server_technique(
+    technique: str,
+    data: "RectSet",
+    queries: "RectSet",
+    truth: "npt.NDArray[np.float64]",
+    config: BenchConfig,
+) -> Dict[str, Any]:
+    """One technique's front-door latency/throughput cell.
+
+    The backend is the sharded scatter-gather tier (the same layout
+    ``engine="sharded"`` benches, shard caches off so both runs are
+    stateless).  Two complete runs over the same workload: the
+    micro-batched front door (``config.server_max_batch``,
+    ``config.concurrency`` pipelined client processes) and the *same*
+    server path pinned to ``max_batch=1`` — the honest
+    single-query-per-call dispatch baseline, since both pay identical
+    framing, event-loop, and client costs and differ only in
+    coalescing.  ``server.speedup`` is the qps ratio;
+    ``server.server_matches`` gates both runs bit-for-bit against a
+    direct ``router.estimate_batch`` call.  Latency percentiles are
+    client-observed (window send to reply arrival), in milliseconds.
+    """
+    from ..serving import ShardedHistogram, ShardRouter
+
+    OBS.reset()
+    start = time.perf_counter()
+    sharded = ShardedHistogram.build(
+        data,
+        n_shards=config.n_shards,
+        n_buckets=config.n_buckets,
+        partitioner_factory=lambda quota: build_partitioner(
+            technique, quota, n_regions=config.n_regions
+        ),
+        n_regions=config.n_regions,
+        cache_size=0,
+    )
+    build_seconds = time.perf_counter() - start
+
+    router = ShardRouter(sharded, workers=1)
+    try:
+        reference = router.estimate_batch(queries)
+
+        batched_values, batched_lat, batched_seconds, stats = \
+            _frontdoor_run(
+                router, queries,
+                concurrency=config.concurrency,
+                max_batch=config.server_max_batch,
+                wait_steps=config.server_wait_steps,
+                window=config.server_window,
+            )
+        single_values, single_lat, single_seconds, _ = _frontdoor_run(
+            router, queries,
+            concurrency=config.concurrency,
+            max_batch=1,
+            wait_steps=0,
+            window=config.server_window,
+        )
+        size_words = int(router.size_words())
+    finally:
+        router.close()
+
+    n = len(queries)
+    server_matches = bool(
+        np.array_equal(batched_values, reference)
+        and np.array_equal(single_values, reference)
+    )
+    summary = error_summary(truth, batched_values)
+    return {
+        "technique": technique,
+        "build_seconds": build_seconds,
+        "estimate_seconds": batched_seconds,
+        "size_words": size_words,
+        "accuracy": {
+            "average_relative_error": summary.average_relative_error,
+            "mean_per_query_error": summary.mean_per_query_error,
+            "median_per_query_error": summary.median_per_query_error,
+            "rmse": summary.rmse,
+            "n_queries": summary.n_queries,
+        },
+        "metrics": OBS.snapshot(),
+        "server": {
+            "concurrency": int(config.concurrency),
+            "max_batch": int(config.server_max_batch),
+            "wait_steps": int(config.server_wait_steps),
+            "window": int(config.server_window),
+            "requests": int(n),
+            "batches": int(stats["batches"]),
+            "avg_batch": float(stats["avg_batch"]),
+            "shed": int(stats["shed"]),
+            "batched_seconds": batched_seconds,
+            "batched_qps": (
+                n / batched_seconds if batched_seconds > 0 else 0.0
+            ),
+            "p50_ms": float(np.percentile(batched_lat, 50) * 1e3),
+            "p99_ms": float(np.percentile(batched_lat, 99) * 1e3),
+            "single_seconds": single_seconds,
+            "single_qps": (
+                n / single_seconds if single_seconds > 0 else 0.0
+            ),
+            "single_p50_ms": float(
+                np.percentile(single_lat, 50) * 1e3
+            ),
+            "single_p99_ms": float(
+                np.percentile(single_lat, 99) * 1e3
+            ),
+            "speedup": (
+                single_seconds / batched_seconds
+                if batched_seconds > 0 else 0.0
+            ),
+            "server_matches": server_matches,
+        },
+    }
+
+
 def _bench_technique(
     technique: str,
     data: "RectSet",
@@ -600,6 +903,10 @@ def _bench_technique(
         return _bench_live_technique(technique, data, queries, config)
     if config.engine == "sharded":
         return _bench_sharded_technique(
+            technique, data, queries, truth, config
+        )
+    if config.engine == "server":
+        return _bench_server_technique(
             technique, data, queries, truth, config
         )
     OBS.reset()
@@ -788,6 +1095,10 @@ def run_bench(
                 "live_drift": config.live_drift,
                 "n_shards": config.n_shards,
                 "shard_workers": config.shard_workers,
+                "concurrency": config.concurrency,
+                "server_max_batch": config.server_max_batch,
+                "server_wait_steps": config.server_wait_steps,
+                "server_window": config.server_window,
                 "deterministic": deterministic,
             }
         )
@@ -830,6 +1141,10 @@ def run_bench(
             "live_drift": config.live_drift,
             "n_shards": config.n_shards,
             "shard_workers": config.shard_workers,
+            "concurrency": config.concurrency,
+            "server_max_batch": config.server_max_batch,
+            "server_wait_steps": config.server_wait_steps,
+            "server_window": config.server_window,
         },
         "environment": {
             "python": sys.version.split()[0],

@@ -170,6 +170,50 @@ _SHARDED_SCHEMA = {
     },
 }
 
+_SERVER_SCHEMA = {
+    "type": "object",
+    "required": [
+        "concurrency",
+        "max_batch",
+        "wait_steps",
+        "window",
+        "requests",
+        "batches",
+        "avg_batch",
+        "shed",
+        "batched_seconds",
+        "batched_qps",
+        "p50_ms",
+        "p99_ms",
+        "single_seconds",
+        "single_qps",
+        "single_p50_ms",
+        "single_p99_ms",
+        "speedup",
+        "server_matches",
+    ],
+    "properties": {
+        "concurrency": {"type": "integer", "minimum": 1},
+        "max_batch": {"type": "integer", "minimum": 1},
+        "wait_steps": {"type": "integer", "minimum": 0},
+        "window": {"type": "integer", "minimum": 1},
+        "requests": {"type": "integer", "minimum": 1},
+        "batches": {"type": "integer", "minimum": 0},
+        "avg_batch": {"type": "number", "minimum": 0},
+        "shed": {"type": "integer", "minimum": 0},
+        "batched_seconds": {"type": "number", "minimum": 0},
+        "batched_qps": {"type": "number", "minimum": 0},
+        "p50_ms": {"type": "number", "minimum": 0},
+        "p99_ms": {"type": "number", "minimum": 0},
+        "single_seconds": {"type": "number", "minimum": 0},
+        "single_qps": {"type": "number", "minimum": 0},
+        "single_p50_ms": {"type": "number", "minimum": 0},
+        "single_p99_ms": {"type": "number", "minimum": 0},
+        "speedup": {"type": "number", "minimum": 0},
+        "server_matches": {"type": "boolean"},
+    },
+}
+
 _TECHNIQUE_SCHEMA = {
     "type": "object",
     "required": [
@@ -200,6 +244,10 @@ _TECHNIQUE_SCHEMA = {
         # bench ran with engine="sharded"): shard layout, fan-out
         # accounting, and the bit-for-bit differential gate
         "sharded": _SHARDED_SCHEMA,
+        # optional micro-batching front-door fields (present when the
+        # bench ran with engine="server"): client-observed latency
+        # percentiles, qps, and the batched-vs-single-dispatch speedup
+        "server": _SERVER_SCHEMA,
     },
 }
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -227,6 +227,14 @@ class WorkerKillConfig:
     (supervision + retry + degraded partials), and once quarantines
     drain the recovered tier answers bit-identically to the
     single-engine union reference.
+
+    With ``through_server`` the same experiment runs over the wire:
+    the router sits behind a :class:`~repro.serving.FrontDoorThread`
+    and every batch is served by concurrent pipelined TCP clients
+    while the kill decisions fire on a separate thread — workers die
+    with client requests in flight.  The contract tightens to the
+    front-door SLO: every client gets a correct answer or a typed
+    error response, and none hangs past ``server_timeout``.
     """
 
     dataset: str = "charminar"
@@ -249,6 +257,9 @@ class WorkerKillConfig:
     reset_after_steps: int = 25
     checkpoint_every: int = 8
     wal_dir: Optional[str] = None
+    through_server: bool = False
+    server_concurrency: int = 8
+    server_timeout: float = 20.0
 
 
 @dataclass(frozen=True)
@@ -268,6 +279,8 @@ class WorkerKillReport:
     digests_match: bool
     estimates_sha256: str
     plan_seed: int
+    through_server: bool = False
+    timeouts: int = 0
     counters: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -286,11 +299,17 @@ class WorkerKillReport:
 
     @property
     def passed(self) -> bool:
-        """The acceptance gate: nothing lost, nothing corrupted."""
+        """The acceptance gate: nothing lost, nothing corrupted.
+
+        A through-server run additionally requires that no client
+        ever hit its deadline — degraded answers and typed errors
+        are acceptable, hangs are not.
+        """
         return (
             self.survival == 1.0
             and self.recovered_matches
             and self.digests_match
+            and self.timeouts == 0
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -310,6 +329,8 @@ class WorkerKillReport:
             "digests_match": self.digests_match,
             "estimates_sha256": self.estimates_sha256,
             "plan_seed": self.plan_seed,
+            "through_server": self.through_server,
+            "timeouts": self.timeouts,
         }
 
 
@@ -334,16 +355,26 @@ def run_worker_kill_chaos(
     * every worker-held shard's ``state_digest`` equals the parent's
       authoritative copy — checkpoint + WAL replay reconstructed the
       exact pre-crash state, not an approximation of it.
+
+    With ``config.through_server`` the router serves behind a
+    :class:`~repro.serving.FrontDoorThread` and every query batch is
+    driven by pipelined TCP clients while the kill decisions run on a
+    concurrent thread, so workers die with client requests in flight.
+    Each client must then receive a correct answer or a typed error
+    within ``config.server_timeout`` — a synthetic ``TimeoutError``
+    response counts as a hang and fails the run.
     """
+    import contextlib
     import os
     import shutil
     import signal
     import tempfile
+    import threading
 
     from ..data import make_dataset
     from ..geometry import RectSet
-    from ..serving import ShardedHistogram, ShardRouter, \
-        attach_wals, wal_recovery
+    from ..serving import FrontDoorThread, ShardedHistogram, \
+        ShardRouter, attach_wals, wal_recovery
     from ..workload import live_workload, range_queries
     from .retry import RetryPolicy
 
@@ -375,6 +406,7 @@ def run_worker_kill_chaos(
     kills = 0
     survived = 0
     requests = 0
+    timeouts = 0
     try:
         with OBS.scope():
             OBS.reset()
@@ -402,16 +434,31 @@ def run_worker_kill_chaos(
                 )
                 injector = FaultInjector(plan, clock=router._clock)
                 mutation_iter = iter(mutations)
-                with router:
+
+                def _sigkill(pid: int) -> None:
+                    try:
+                        os.kill(pid, signal.SIGKILL)
+                    except OSError:
+                        # the worker died (or was respawned) between
+                        # pid snapshot and signal — the race is the
+                        # experiment, not an error
+                        pass
+
+                def _fire_kills() -> int:
+                    with installed(injector):
+                        return _kill_planned_workers(
+                            router._pool, kill=_sigkill
+                        )
+
+                front: Optional[FrontDoorThread] = None
+                with contextlib.ExitStack() as stack:
+                    stack.enter_context(router)
+                    if config.through_server:
+                        front = FrontDoorThread(router).start()
+                        # LIFO: the door stops before the router
+                        # tears the worker pool down
+                        stack.callback(front.stop)
                     for batch_no in range(config.n_batches):
-                        if router._pool is not None:
-                            with installed(injector):
-                                kills += _kill_planned_workers(
-                                    router._pool,
-                                    kill=lambda pid: os.kill(
-                                        pid, signal.SIGKILL
-                                    ),
-                                )
                         lo = batch_no * config.batch_size
                         batch = RectSet(
                             queries.coords[
@@ -420,19 +467,66 @@ def run_worker_kill_chaos(
                             copy=False, validate=False,
                         )
                         requests += 1
-                        estimates = router.estimate_batch(batch)
-                        if (
-                            len(estimates) == len(batch)
-                            and bool(
-                                np.isfinite(estimates).all()
+                        if front is not None:
+                            # fire the kill decisions on a thread so
+                            # workers die while client requests are
+                            # in flight on the wire
+                            killer: Optional[threading.Thread] = None
+                            kill_box: List[int] = []
+                            if router._pool is not None:
+                                killer = threading.Thread(
+                                    target=lambda box=kill_box:
+                                        box.append(_fire_kills()),
+                                    daemon=True,
+                                )
+                                killer.start()
+                            responses = front.estimate_many(
+                                batch.coords,
+                                concurrency=min(
+                                    config.server_concurrency,
+                                    len(batch),
+                                ),
+                                timeout=config.server_timeout,
                             )
-                        ):
-                            survived += 1
+                            if killer is not None:
+                                killer.join(timeout=60.0)
+                                kills += sum(kill_box)
+                            answered = 0
+                            for resp in responses:
+                                if resp.get("error") == "TimeoutError":
+                                    timeouts += 1
+                                elif resp.get("ok", False):
+                                    if np.isfinite(float(
+                                        resp.get("value", np.nan)
+                                    )):
+                                        answered += 1
+                                elif resp.get("error"):
+                                    answered += 1
+                            if answered == len(batch):
+                                survived += 1
+                        else:
+                            if router._pool is not None:
+                                kills += _fire_kills()
+                            estimates = router.estimate_batch(batch)
+                            if (
+                                len(estimates) == len(batch)
+                                and bool(
+                                    np.isfinite(estimates).all()
+                                )
+                            ):
+                                survived += 1
                         for _ in range(config.mutations_per_batch):
                             op = next(mutation_iter, None)
                             if op is None:
                                 break
-                            if op.kind == "insert":
+                            if front is not None:
+                                front.mutate(
+                                    op.kind,
+                                    (op.rect.x1, op.rect.y1,
+                                     op.rect.x2, op.rect.y2),
+                                    timeout=config.server_timeout,
+                                )
+                            elif op.kind == "insert":
                                 router.insert(op.rect)
                             else:
                                 router.delete(op.rect)
@@ -442,16 +536,54 @@ def run_worker_kill_chaos(
                     router._clock.advance(
                         config.reset_after_steps + 1
                     )
-                    router.estimate_batch(queries)
-                    final = router.estimate_batch(queries)
-                    recovered_matches = (
-                        router.degraded_shards == ()
-                        and bool(np.array_equal(
-                            final,
-                            sharded.union_estimator()
-                            .estimate_batch(queries),
-                        ))
-                    )
+                    if front is not None:
+                        front.estimate_many(
+                            queries.coords,
+                            concurrency=config.server_concurrency,
+                            timeout=config.server_timeout,
+                        )
+                        final_responses = front.estimate_many(
+                            queries.coords,
+                            concurrency=config.server_concurrency,
+                            timeout=config.server_timeout,
+                        )
+                        all_ok = all(
+                            r.get("ok", False)
+                            for r in final_responses
+                        )
+                        annotated = any(
+                            r.get("degraded")
+                            for r in final_responses
+                        )
+                        final = np.array(
+                            [
+                                float(r["value"])
+                                if r.get("ok", False) else np.nan
+                                for r in final_responses
+                            ],
+                            dtype=np.float64,
+                        )
+                        recovered_matches = (
+                            all_ok
+                            and not annotated
+                            and router.degraded_shards == ()
+                            and bool(np.array_equal(
+                                final,
+                                sharded.union_estimator()
+                                .estimate_batch(queries),
+                            ))
+                        )
+                    else:
+                        router.estimate_batch(queries)
+                        final = router.estimate_batch(queries)
+                        recovered_matches = (
+                            router.degraded_shards == ()
+                            and bool(np.array_equal(
+                                final,
+                                sharded.union_estimator()
+                                .estimate_batch(queries),
+                            ))
+                        )
                     digests_match = True
                     if router._pool is not None:
                         for shard in sharded.shards:
@@ -489,6 +621,8 @@ def run_worker_kill_chaos(
         digests_match=digests_match,
         estimates_sha256=digest,
         plan_seed=config.plan_seed,
+        through_server=config.through_server,
+        timeouts=timeouts,
         counters=counters,
     )
 
@@ -512,8 +646,14 @@ def _kill_planned_workers(pool: Any, *, kill: Any) -> int:
             fire(f"chaos.worker-kill.w{worker}")
         except ReproError:
             if pid > 0:
+                # snapshot the process before signalling: with kills
+                # concurrent to in-flight serving, supervision may
+                # respawn the slot before the join — joining the
+                # captured (dead) process never blocks on the live
+                # replacement
+                proc = pool._procs[worker]
                 kill(pid)
-                pool._procs[worker].join(timeout=10)
+                proc.join(timeout=10)
                 killed += 1
     return killed
 
@@ -524,6 +664,13 @@ def format_worker_kill_report(report: WorkerKillReport) -> str:
         f"# chaos --kill-shard-workers: {report.requests} batches, "
         f"{report.kills} workers killed, "
         f"survival {report.survival:.1%}",
+    ]
+    if report.through_server:
+        lines.append(
+            "front door        : kills fired with clients in flight"
+            f" ({report.timeouts} deadline timeouts)"
+        )
+    lines += [
         f"respawns          : {report.respawns}"
         f" (replayed ops: {report.replayed_ops})",
         f"wal               : {report.wal_records} records, "

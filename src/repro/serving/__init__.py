@@ -24,6 +24,15 @@ fast without changing a single answer:
   :class:`ShardWorkerPool` of pinned workers, sum partials), and
   :class:`ShardUnionEstimator` (the single-engine differential
   reference);
+* the **micro-batching front door** — :class:`MicroBatcher` (the
+  sans-IO coalescing core: FIFO queue, dual size/logical-wait trigger
+  on a :class:`~repro.resilience.StepClock`, mutation barriers,
+  bounded admission with a typed
+  :class:`~repro.errors.OverloadedError` shed) and :class:`FrontDoor`
+  (the asyncio TCP ingress speaking length-prefixed JSON frames, with
+  :class:`FrontDoorClient` / :class:`FrontDoorThread` as its client
+  harnesses) — concurrent single-rect clients coalesce into the same
+  engine batches, bit-identical to calling the engine directly;
 * the **fault-tolerance layer** over that tier — the
   :class:`ShardWorkerPool` supervises its workers (logical reply
   deadlines, typed :class:`~repro.errors.ShardWorkerError`,
@@ -42,8 +51,15 @@ and the sharded tier's answers equal the single-engine reference
 bit-for-bit.
 """
 
+from .batcher import MicroBatcher, PendingReply
 from .cache import QueryCache, canonical_key
 from .engine import BatchServingEngine
+from .frontdoor import (
+    FrontDoor,
+    FrontDoorClient,
+    FrontDoorThread,
+    encode_frame,
+)
 from .index import BucketIndex
 from .parallel import ShardWorkerPool, parallel_map
 from .router import ShardRouter
@@ -62,6 +78,12 @@ __all__ = [
     "canonical_key",
     "BucketIndex",
     "BatchServingEngine",
+    "MicroBatcher",
+    "PendingReply",
+    "FrontDoor",
+    "FrontDoorClient",
+    "FrontDoorThread",
+    "encode_frame",
     "parallel_map",
     "ShardWorkerPool",
     "ShardPlan",

@@ -215,6 +215,24 @@ class BatchServingEngine(SelectivityEstimator):
             self._flush_cache()
         self._chain_state = current
 
+    def _epoch_point(self) -> Tuple[Tuple[int, int], ...]:
+        """The pinned epoch-read point of one serve.
+
+        Captured before the cache is consulted and compared after the
+        kernel dispatch: if any reachable estimator's epoch moved in
+        between (a mutation landed *mid-batch*), the cached rows are
+        pre-mutation and the fresh rows post-mutation — filling them
+        into one batch would mix epochs.  The tuple covers every
+        observed estimator, so a mutation on any link of a guarded
+        chain moves the point too.  Granularity is the dispatch call:
+        mutations interleave between Python-level steps, never inside
+        one vectorised kernel evaluation.
+        """
+        return tuple(
+            (key, est.epoch)
+            for key, (est, _seen) in self._observed.items()
+        )
+
     def _cacheable(self) -> bool:
         """Whether answers from this serve may enter the cache.
 
@@ -240,13 +258,18 @@ class BatchServingEngine(SelectivityEstimator):
         self._revalidate()
         if self.cache is None:
             return self.inner.estimate(query)
+        point = self._epoch_point()
         key = canonical_key(query.x1, query.y1, query.x2, query.y2)
         cached = self.cache.lookup(key)
         if cached is not None:
             return cached
         value = self.inner.estimate(query)
         self._observe_chain()
-        if self._cacheable():
+        # the epoch-read point is pinned at the pre-lookup epochs: a
+        # mutation that landed between the lookup and the estimate
+        # keeps this (post-mutation) answer out of the cache, so the
+        # next revalidation's flush cannot race a fresh store
+        if self._cacheable() and self._epoch_point() == point:
             self.cache.put(key, value)
         return value
 
@@ -272,14 +295,31 @@ class BatchServingEngine(SelectivityEstimator):
     def _serve(self, queries: RectSet) -> npt.NDArray[np.float64]:
         if self.cache is None:
             return self.inner.estimate_batch(queries)
-        values, missing = self.cache.lookup_batch(queries)
-        if missing.size:
+        for _attempt in range(2):
+            point = self._epoch_point()
+            values, missing = self.cache.lookup_batch(queries)
+            if not missing.size:
+                return values
             fresh = self.inner.estimate_batch(queries.select(missing))
+            if self._epoch_point() != point:
+                # a mutation landed mid-batch, between the cache
+                # lookup and the kernel dispatch: the cached rows are
+                # pre-mutation, the fresh rows post-mutation.  Flush
+                # via revalidation and re-serve the whole batch at the
+                # new epoch instead of mixing the two.
+                if OBS.enabled:
+                    OBS.add("serving.epoch.midbatch_retries")
+                self._revalidate()
+                continue
             values[missing] = fresh
             self._observe_chain()
             if self._cacheable():
                 self.cache.store_batch(queries, missing, fresh)
-        return values
+            return values
+        # epochs moved on every attempt: answer the batch with one
+        # kernel dispatch at a single consistent point, bypassing (and
+        # never populating) the cache
+        return self.inner.estimate_batch(queries)
 
     # ------------------------------------------------------------------
     # pickling: epoch bookkeeping must survive a process boundary

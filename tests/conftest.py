@@ -1,10 +1,21 @@
-"""Shared fixtures: small deterministic datasets and workloads."""
+"""Shared fixtures: datasets, workloads, and the serving-tier factory.
+
+The serving suites (differential, sharded, live, chaos, front door)
+all serve the same architecture through different entry points; the
+``served_engine`` factory here builds any of the four kinds — direct,
+sharded, pooled, server — behind one facade so a test parameterizes
+over engine kind instead of hand-rolling each stack's setup and
+teardown.
+"""
 
 import numpy as np
 import pytest
 
 from repro.data import charminar, nj_road_like, uniform_rects
 from repro.geometry import Rect, RectSet
+
+#: Every way the serving tier can answer a query batch.
+SERVING_ENGINE_KINDS = ("direct", "sharded", "pooled", "server")
 
 
 @pytest.fixture(scope="session")
@@ -48,3 +59,151 @@ def mixed_rects(rng):
 @pytest.fixture()
 def unit_square():
     return Rect(0.0, 0.0, 1.0, 1.0)
+
+
+@pytest.fixture(scope="session")
+def serving_dataset():
+    """The dataset every serving-tier suite serves (1 200 rects)."""
+    return charminar(1_200, seed=17)
+
+
+@pytest.fixture(scope="session")
+def serving_queries(serving_dataset):
+    from repro.workload import range_queries
+
+    return range_queries(serving_dataset, 0.08, 60, seed=71)
+
+
+class ServedEngine:
+    """One serving stack behind a uniform facade.
+
+    ``estimate_batch`` answers a :class:`RectSet`; ``insert`` /
+    ``delete`` route a mutation through the stack's own entry point;
+    ``reference`` is the single-engine union answer over the *current*
+    shard state (so it tracks mutations).  The building fixture owns
+    ``close``.
+    """
+
+    def __init__(self, kind, sharded, estimate_batch, insert,
+                 delete, close):
+        self.kind = kind
+        self.sharded = sharded
+        self.estimate_batch = estimate_batch
+        self.insert = insert
+        self.delete = delete
+        self.close = close
+
+    def reference(self, queries):
+        return self.sharded.union_estimator().estimate_batch(queries)
+
+
+def _build_served_engine(kind, data, *, n_shards=3, n_buckets=16,
+                         n_regions=256, max_batch=16, wait_steps=2):
+    from repro.serving import (
+        BatchServingEngine,
+        FrontDoorThread,
+        ShardedHistogram,
+        ShardRouter,
+    )
+
+    sharded = ShardedHistogram.build(
+        data, n_shards=n_shards, n_buckets=n_buckets,
+        n_regions=n_regions,
+    )
+    if kind == "direct":
+        # the union reference itself behind a batch engine, rebuilt
+        # per serve so mutations are always visible; cache off keeps
+        # it stateless
+        def serve(queries):
+            return BatchServingEngine(
+                sharded.union_estimator(), cache_size=0,
+                auto_index=False,
+            ).estimate_batch(queries)
+
+        return ServedEngine(
+            kind, sharded, serve,
+            insert=sharded.insert, delete=sharded.delete,
+            close=lambda: None,
+        )
+    router = ShardRouter(
+        sharded, workers=2 if kind == "pooled" else 0
+    )
+    if kind in ("sharded", "pooled"):
+        return ServedEngine(
+            kind, sharded, router.estimate_batch,
+            insert=router.insert, delete=router.delete,
+            close=router.close,
+        )
+    if kind != "server":
+        raise ValueError(f"unknown served-engine kind {kind!r}")
+    front = FrontDoorThread(
+        router, max_batch=max_batch, max_wait_steps=wait_steps
+    ).start()
+
+    def serve_wire(queries):
+        responses = front.estimate_many(queries.coords)
+        bad = [r for r in responses if not r.get("ok", False)]
+        assert not bad, f"front door errored: {bad[0]}"
+        return np.array(
+            [float(r["value"]) for r in responses],
+            dtype=np.float64,
+        )
+
+    def close():
+        front.stop()
+        router.close()
+
+    return ServedEngine(
+        kind, sharded, serve_wire,
+        insert=lambda rect: front.mutate(
+            "insert", (rect.x1, rect.y1, rect.x2, rect.y2)
+        ),
+        delete=lambda rect: front.mutate(
+            "delete", (rect.x1, rect.y1, rect.x2, rect.y2)
+        ),
+        close=close,
+    )
+
+
+@pytest.fixture(scope="session")
+def serving_engine_factory(serving_dataset):
+    """Factory: build a :class:`ServedEngine` of the requested kind.
+
+    The caller closes what it builds; the parameterized
+    ``served_engine`` fixture below does that automatically.
+    """
+
+    def factory(kind, **overrides):
+        return _build_served_engine(kind, serving_dataset, **overrides)
+
+    return factory
+
+
+@pytest.fixture(params=SERVING_ENGINE_KINDS)
+def served_engine(request, serving_engine_factory):
+    engine = serving_engine_factory(request.param)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture()
+def capture_counters():
+    """Run a callable under a fresh OBS scope.
+
+    Returns ``(result, counters)`` — the shared pattern the serving
+    suites previously each hand-rolled with ``OBS.scope`` /
+    ``OBS.reset`` / ``OBS.snapshot``.
+    """
+    from repro.obs import OBS
+
+    def run(fn):
+        with OBS.scope():
+            OBS.reset()
+            try:
+                result = fn()
+                counters = dict(OBS.snapshot()["counters"])
+            finally:
+                OBS.reset()
+        return result, counters
+
+    return run

@@ -13,7 +13,6 @@ import pytest
 from repro.data import uniform_rects
 from repro.errors import FallbackExhaustedError
 from repro.estimators import BucketEstimator
-from repro.obs import OBS
 from repro.resilience import (
     FaultInjector,
     FaultPlan,
@@ -41,26 +40,29 @@ def _chain(data, **kwargs):
     return build_fallback_chain(data, 10, n_regions=256, **kwargs)
 
 
-def _run(chain, queries, plan):
+def _run(chain, queries, plan, capture):
     """Serve a batch through the engine under an installed fault plan;
-    returns (values, counters)."""
+    ``capture`` is the ``capture_counters`` fixture; returns
+    (values, counters, engine)."""
     engine = BatchServingEngine(chain, auto_index=False)
-    with OBS.scope():
-        OBS.reset()
+
+    def serve():
         with installed(FaultInjector(plan, clock=chain.clock)):
-            values = engine.estimate_batch(queries)
-        counters = dict(OBS.snapshot()["counters"])
-        OBS.reset()
+            return engine.estimate_batch(queries)
+
+    values, counters = capture(serve)
     return values, counters, engine
 
 
 class TestDegradedBatchServing:
-    def test_corrupt_minskew_build_served_by_sample(self, data, queries):
+    def test_corrupt_minskew_build_served_by_sample(
+        self, data, queries, capture_counters
+    ):
         chain = _chain(data)
         plan = FaultPlan(
             0, (FaultSpec("estimator.build.Min-Skew", kind="corrupt"),)
         )
-        values, counters, _ = _run(chain, queries, plan)
+        values, counters, _ = _run(chain, queries, plan, capture_counters)
         assert values.shape == (N_QUERIES,)
         assert np.isfinite(values).all() and (values >= 0.0).all()
         assert counters.get("resilience.link_failures.Min-Skew") == 1
@@ -70,32 +72,36 @@ class TestDegradedBatchServing:
         assert counters.get("serving.requests") == 1
         assert counters.get("serving.queries") == N_QUERIES
 
-    def test_degraded_answers_match_fallback_link(self, data, queries):
+    def test_degraded_answers_match_fallback_link(
+        self, data, queries, capture_counters
+    ):
         # what the degraded chain serves is exactly the Sample link's
         # own batch answer — degradation, not distortion
         chain = _chain(data)
         plan = FaultPlan(
             0, (FaultSpec("estimator.build.Min-Skew", kind="corrupt"),)
         )
-        values, _, _ = _run(chain, queries, plan)
+        values, _, _ = _run(chain, queries, plan, capture_counters)
         sample_link = next(
             link for link in chain.links if link.name == "Sample"
         )
         reference = sample_link.built_estimator.estimate_batch(queries)
         np.testing.assert_array_equal(values, reference)
 
-    def test_runtime_fault_in_built_minskew(self, data, queries):
+    def test_runtime_fault_in_built_minskew(
+        self, data, queries, capture_counters
+    ):
         chain = _chain(data)
         # build succeeds; the *serve* site fails
         plan = FaultPlan(0, (FaultSpec("estimator.Min-Skew",
                                        kind="fail"),))
-        values, counters, _ = _run(chain, queries, plan)
+        values, counters, _ = _run(chain, queries, plan, capture_counters)
         assert np.isfinite(values).all()
         assert counters.get("resilience.link_failures.Min-Skew") == 1
         assert counters.get("resilience.served.Sample") == N_QUERIES
 
     def test_transient_fault_retried_without_degrading(
-        self, data, queries
+        self, data, queries, capture_counters
     ):
         chain = _chain(data)
         plan = FaultPlan(
@@ -103,7 +109,7 @@ class TestDegradedBatchServing:
             (FaultSpec("estimator.Min-Skew", kind="io",
                        recover_after=1),),
         )
-        values, counters, _ = _run(chain, queries, plan)
+        values, counters, _ = _run(chain, queries, plan, capture_counters)
         assert counters.get("resilience.retries") == 1
         assert counters.get("resilience.served.Min-Skew") == N_QUERIES
         assert "resilience.degraded" not in counters
@@ -113,11 +119,13 @@ class TestDegradedBatchServing:
             values, clean.estimate_batch(queries)
         )
 
-    def test_all_links_failing_fills_last_resort(self, data, queries):
+    def test_all_links_failing_fills_last_resort(
+        self, data, queries, capture_counters
+    ):
         chain = _chain(data)
         plan = FaultPlan(0, (FaultSpec("estimator.build.*",
                                        kind="corrupt"),))
-        values, counters, _ = _run(chain, queries, plan)
+        values, counters, _ = _run(chain, queries, plan, capture_counters)
         np.testing.assert_array_equal(
             values, np.zeros(N_QUERIES, dtype=np.float64)
         )
@@ -141,7 +149,9 @@ class TestDegradedBatchServing:
 
 
 class TestCacheUnderDegradation:
-    def test_degraded_values_are_never_cached(self, data, queries):
+    def test_degraded_values_are_never_cached(
+        self, data, queries, capture_counters
+    ):
         """A batch served by a fallback link must not populate the
         cache — otherwise popular queries keep getting Sample-quality
         answers long after the chain recovers."""
@@ -149,12 +159,12 @@ class TestCacheUnderDegradation:
         plan = FaultPlan(
             0, (FaultSpec("estimator.build.Min-Skew", kind="corrupt"),)
         )
-        first, counters, engine = _run(chain, queries, plan)
+        first, counters, engine = _run(chain, queries, plan, capture_counters)
         assert counters.get("resilience.degraded") == N_QUERIES
         assert len(engine.cache) == 0
 
     def test_post_recovery_answers_match_healthy_estimator(
-        self, data, queries
+        self, data, queries, capture_counters
     ):
         """Once the injected fault clears, the very next serve answers
         with the healthy (Min-Skew) link's values — bit-identical to a
@@ -163,7 +173,7 @@ class TestCacheUnderDegradation:
         plan = FaultPlan(
             0, (FaultSpec("estimator.build.Min-Skew", kind="corrupt"),)
         )
-        first, _, engine = _run(chain, queries, plan)
+        first, _, engine = _run(chain, queries, plan, capture_counters)
         # injector gone; one build failure leaves the breaker closed
         # (threshold 3), so the chain rebuilds Min-Skew and recovers
         second = engine.estimate_batch(queries)
@@ -201,9 +211,10 @@ class TestShardedChaos:
             guarded=True,
         )
 
-    def _faulted_serve(self, data, queries):
+    def _faulted_serve(self, data, queries, capture):
         """Serve through a router while shard 0's primary link fails
-        to build; returns (values, counters, router)."""
+        to build; ``capture`` is the ``capture_counters`` fixture;
+        returns (values, counters, router)."""
         from repro.serving import ShardRouter
 
         sharded = self._sharded(data)
@@ -215,12 +226,12 @@ class TestShardedChaos:
                        kind="corrupt"),),
         )
         clock = sharded.shards[0].chain.clock
-        with OBS.scope():
-            OBS.reset()
+
+        def serve():
             with installed(FaultInjector(plan, clock=clock)):
-                values = router.estimate_batch(queries)
-            counters = dict(OBS.snapshot()["counters"])
-            OBS.reset()
+                return router.estimate_batch(queries)
+
+        values, counters = capture(serve)
         return values, counters, router
 
     def _subbatch(self, sharded, queries, sid):
@@ -245,13 +256,13 @@ class TestShardedChaos:
         return idx, clipped
 
     def test_fault_degrades_only_the_faulted_shards_partial(
-        self, data, queries
+        self, data, queries, capture_counters
     ):
         from repro.geometry import RectSet
         from repro.serving import ShardRouter
 
         values, counters, router = self._faulted_serve(
-            data, queries
+            data, queries, capture_counters
         )
         sharded = router.sharded
         name = sharded.shards[0].estimator.name
@@ -303,11 +314,13 @@ class TestShardedChaos:
         )
 
     def test_recovery_is_bit_identical_to_never_faulted(
-        self, data, queries
+        self, data, queries, capture_counters
     ):
         from repro.serving import ShardRouter
 
-        first, _, router = self._faulted_serve(data, queries)
+        first, _, router = self._faulted_serve(
+            data, queries, capture_counters
+        )
         # injector gone, breaker still closed after one failure: the
         # next serve rebuilds shard 0's primary link and recovers
         second = router.estimate_batch(queries)
@@ -318,9 +331,11 @@ class TestShardedChaos:
         assert not np.array_equal(second, first)
 
     def test_degraded_partial_is_not_cached_by_the_shard(
-        self, data, queries
+        self, data, queries, capture_counters
     ):
-        _, _, router = self._faulted_serve(data, queries)
+        _, _, router = self._faulted_serve(
+            data, queries, capture_counters
+        )
         engine = router.sharded.shards[0].engine
         assert len(engine.cache) == 0
         for shard in router.sharded.shards[1:]:
@@ -376,3 +391,37 @@ class TestLazyLinkIndexing:
         healthy = _chain(data)
         for q in list(queries)[:10]:
             assert engine.estimate(q) == healthy.estimate(q)
+
+
+class TestFrontDoorWorkerKillChaos:
+    """SIGKILLed workers with front-door clients in flight.
+
+    The kill decisions fire on a separate thread while concurrent
+    pipelined TCP clients are mid-request, so workers genuinely die
+    under load.  The SLO contract: every client gets a correct answer
+    or a typed degraded/overload response, and none hangs past its
+    deadline (``report.timeouts`` counts deadline breaches and any
+    breach fails the run).
+    """
+
+    def test_kills_in_flight_keep_the_slo(self):
+        from repro.resilience.chaos import (
+            WorkerKillConfig,
+            run_worker_kill_chaos,
+        )
+
+        report = run_worker_kill_chaos(WorkerKillConfig(
+            n=600, n_batches=5, batch_size=15,
+            n_buckets=16, n_regions=144,
+            through_server=True, server_concurrency=4,
+        ))
+        assert report.through_server
+        assert report.kills > 0, (
+            "the seeded plan never killed a worker; the run proves "
+            "nothing — adjust kill_rate/plan_seed"
+        )
+        assert report.timeouts == 0  # no client hung past its deadline
+        assert report.survival == 1.0
+        assert report.recovered_matches  # over-the-wire, bit-identical
+        assert report.digests_match
+        assert report.passed

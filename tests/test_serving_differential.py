@@ -24,7 +24,6 @@ from hypothesis import strategies as st
 from repro.data import charminar, uniform_rects
 from repro.estimators.exact import ExactEstimator
 from repro.eval import ALL_TECHNIQUES, ExperimentRunner, build_estimator
-from repro.obs import OBS
 from repro.serving import BatchServingEngine
 from repro.workload import point_queries, range_queries
 
@@ -143,23 +142,21 @@ class TestCacheTransparency:
 class TestParallelSweepDeterminism:
     SWEEP_TECHNIQUES = ("Min-Skew", "Sample", "Uniform", "Fractal")
 
-    def _sweep(self, workers):
+    def _sweep(self, workers, capture):
         data = uniform_rects(700, seed=21)
         queries = range_queries(data, 0.08, 120, seed=22)
         runner = ExperimentRunner(data)
-        with OBS.scope():
-            OBS.reset()
-            results = runner.evaluate_sweep(
-                self.SWEEP_TECHNIQUES, queries, 12, n_regions=256,
-                workers=workers,
-            )
-            counters = dict(OBS.snapshot()["counters"])
-            OBS.reset()
+        results, counters = capture(lambda: runner.evaluate_sweep(
+            self.SWEEP_TECHNIQUES, queries, 12, n_regions=256,
+            workers=workers,
+        ))
         return results, counters
 
-    def test_workers_4_byte_identical_to_workers_1(self):
-        serial, serial_counters = self._sweep(1)
-        parallel, parallel_counters = self._sweep(4)
+    def test_workers_4_byte_identical_to_workers_1(
+        self, capture_counters
+    ):
+        serial, serial_counters = self._sweep(1, capture_counters)
+        parallel, parallel_counters = self._sweep(4, capture_counters)
         assert list(serial) == list(parallel)
         for technique in self.SWEEP_TECHNIQUES:
             # dataclass equality compares every float field exactly

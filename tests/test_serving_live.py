@@ -18,7 +18,6 @@ from hypothesis import strategies as st
 from repro.core import MaintainedHistogram, MinSkewPartitioner
 from repro.data import charminar
 from repro.estimators import BucketEstimator, MaintainedEstimator
-from repro.obs import OBS
 from repro.serving import BatchServingEngine
 from repro.workload import live_workload, range_queries
 
@@ -156,17 +155,17 @@ class TestLayerInvalidation:
         assert est.sync() is True
         assert est.index is None
 
-    def test_epoch_counters_are_reported(self):
+    def test_epoch_counters_are_reported(self, capture_counters):
         hist = _hist()
         engine = BatchServingEngine(MaintainedEstimator(hist))
         queries = range_queries(DATA, 0.1, 10, seed=9)
-        with OBS.scope():
-            OBS.reset()
+
+        def serve_refresh_serve():
             engine.estimate_batch(queries)
             hist.refresh()
             engine.estimate_batch(queries)
-            counters = dict(OBS.snapshot()["counters"])
-            OBS.reset()
+
+        _, counters = capture_counters(serve_refresh_serve)
         assert counters.get("serving.epoch.stale") == 1
         assert counters.get("serving.epoch.index_rebuilds") == 1
         assert counters.get("serving.epoch.estimator_rebuilds") == 1
@@ -296,7 +295,9 @@ class TestShardedLiveMaintenance:
                 else:
                     assert a == b
 
-    def test_untouched_shards_keep_caches_warm(self):
+    def test_untouched_shards_keep_caches_warm(
+        self, capture_counters
+    ):
         from repro.geometry import RectSet
         from repro.serving import ShardRouter
 
@@ -323,11 +324,9 @@ class TestShardedLiveMaintenance:
         rect = cold.hist.current_data()[0]
         assert sharded.owner_of(rect) == cold.shard_id
         router.insert(rect)
-        with OBS.scope():
-            OBS.reset()
-            result = router.estimate_batch(mixed)
-            counters = dict(OBS.snapshot()["counters"])
-            OBS.reset()
+        result, counters = capture_counters(
+            lambda: router.estimate_batch(mixed)
+        )
         # the touched shard flushed; the untouched shard answered
         # its whole sub-batch from its still-warm cache
         assert cold.engine.cache.flushes == 1

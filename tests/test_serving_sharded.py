@@ -27,7 +27,6 @@ from repro.core import MaintainedHistogram, MinSkewPartitioner
 from repro.data import charminar
 from repro.estimators import BucketEstimator, MaintainedEstimator
 from repro.geometry import Rect, RectSet
-from repro.obs import OBS
 from repro.serving import (
     BatchServingEngine,
     ShardedHistogram,
@@ -212,16 +211,16 @@ class TestRoutingBehaviour:
                     & (coords[:, 3] >= box.y1)
                 ).all()
 
-    def test_fanout_counters_match_intersection_set(self):
+    def test_fanout_counters_match_intersection_set(
+        self, capture_counters
+    ):
         sharded = _build()
         router = ShardRouter(sharded)
         queries = range_queries(DATA, 0.05, 300, seed=22)
         dispatched, routed = _expected_dispatch(sharded, queries)
-        with OBS.scope():
-            OBS.reset()
-            router.estimate_batch(queries)
-            counters = dict(OBS.snapshot()["counters"])
-            OBS.reset()
+        _, counters = capture_counters(
+            lambda: router.estimate_batch(queries)
+        )
         assert counters.get("serving.shard.requests") == 1
         assert counters.get("serving.shard.queries") == 300
         assert counters.get("serving.shard.fanout") \
@@ -230,7 +229,7 @@ class TestRoutingBehaviour:
         assert counters.get("serving.shard.skipped", 0) \
             == sharded.n_shards - len(dispatched)
 
-    def test_narrow_query_skips_far_shards(self):
+    def test_narrow_query_skips_far_shards(self, capture_counters):
         """A query inside one shard's box (and clear of every other
         routing box) fans out to exactly one shard."""
         sharded = _build()
@@ -251,16 +250,16 @@ class TestRoutingBehaviour:
         queries = RectSet(np.array(
             [list(tiny.as_tuple())], dtype=np.float64
         ))
-        with OBS.scope():
-            OBS.reset()
-            router.estimate_batch(queries)
-            counters = dict(OBS.snapshot()["counters"])
-            OBS.reset()
+        _, counters = capture_counters(
+            lambda: router.estimate_batch(queries)
+        )
         assert counters.get("serving.shard.fanout") == 1
         assert counters.get("serving.shard.skipped") \
             == sharded.n_shards - 1
 
-    def test_mutation_bumps_only_owning_shard_epoch(self):
+    def test_mutation_bumps_only_owning_shard_epoch(
+        self, capture_counters
+    ):
         sharded = _build()
         router = ShardRouter(sharded)
         queries = range_queries(DATA, 0.05, 20, seed=23)
@@ -268,12 +267,12 @@ class TestRoutingBehaviour:
         rect = DATA[0]
         sid = sharded.owner_of(rect)
         before = sharded.epochs()
-        with OBS.scope():
-            OBS.reset()
+
+        def mutate_and_serve():
             router.insert(rect)
             router.estimate_batch(queries)
-            counters = dict(OBS.snapshot()["counters"])
-            OBS.reset()
+
+        _, counters = capture_counters(mutate_and_serve)
         after = sharded.epochs()
         for i, (b, a) in enumerate(zip(before, after)):
             assert (a != b) == (i == sid)
@@ -315,15 +314,15 @@ class TestShardWorkerPool:
                 inline.estimate_batch(queries),
             )
 
-    def test_pooled_counter_totals_match_inline(self):
+    def test_pooled_counter_totals_match_inline(
+        self, capture_counters
+    ):
         queries = range_queries(DATA, 0.05, 100, seed=34)
 
         def serve(router):
-            with OBS.scope():
-                OBS.reset()
-                router.estimate_batch(queries)
-                counters = dict(OBS.snapshot()["counters"])
-                OBS.reset()
+            _, counters = capture_counters(
+                lambda: router.estimate_batch(queries)
+            )
             return counters
 
         inline_counters = serve(ShardRouter(_build()))
@@ -372,16 +371,16 @@ class TestEnginePickleRevalidation:
         np.testing.assert_array_equal(got, fresh)
         assert not np.array_equal(got, stale)
 
-    def test_unpickled_engine_flushes_and_reindexes(self):
+    def test_unpickled_engine_flushes_and_reindexes(
+        self, capture_counters
+    ):
         _data, hist, engine, queries = self._setup()
         engine.estimate_batch(queries)
         hist.refresh()
         clone = pickle.loads(pickle.dumps(engine))
-        with OBS.scope():
-            OBS.reset()
-            clone.estimate_batch(queries)
-            counters = dict(OBS.snapshot()["counters"])
-            OBS.reset()
+        _, counters = capture_counters(
+            lambda: clone.estimate_batch(queries)
+        )
         assert counters.get("serving.epoch.stale") == 1
         assert counters.get("serving.epoch.index_rebuilds") == 1
         assert counters.get("serving.cache.flushes") == 1
