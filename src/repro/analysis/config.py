@@ -56,6 +56,11 @@ class LintConfig:
     epoch001_exempt_methods:
         Methods never analysed (constructors; the revalidators
         themselves are always exempt).
+    epoch001_mutation_attrs:
+        Published-summary attributes: storing one on any receiver
+        other than ``self`` (``hist.buckets = ...``) bypasses the
+        owner's atomic epoch-bump publish (``replace_buckets``) and
+        is flagged in every EPOCH001 package.
     pickle001_boundaries:
         Qualified callables whose arguments cross a pickle boundary.
     seed001_constructors:
@@ -136,6 +141,7 @@ class LintConfig:
     epoch001_packages: Tuple[str, ...] = (
         "repro.serving",
         "repro.estimators",
+        "repro.tuning",
     )
     epoch001_revalidators: Tuple[str, ...] = ("_revalidate", "sync")
     epoch001_cache_attrs: FrozenSet[str] = frozenset({
@@ -149,6 +155,9 @@ class LintConfig:
     })
     epoch001_exempt_methods: FrozenSet[str] = frozenset({
         "__init__", "__repr__", "__getstate__", "__setstate__",
+    })
+    epoch001_mutation_attrs: FrozenSet[str] = frozenset({
+        "buckets",
     })
     pickle001_boundaries: FrozenSet[str] = frozenset({
         "repro.serving.parallel.ShardWorkerPool",

@@ -16,7 +16,13 @@ EPOCH001
     call on every path.  Interprocedural within the class: a private
     method whose reads are not locally dominated must itself be
     dominated at each call site (that is how ``_serve`` stays honest
-    behind ``estimate_batch``).
+    behind ``estimate_batch``).  Additionally, anywhere in the
+    EPOCH001 packages (which include ``repro.tuning``), storing a
+    published-summary attribute on a receiver other than ``self``
+    (``hist.buckets = ...``) is a finding: it swaps the summary
+    without the owner's atomic epoch bump, so a consumer can serve
+    the new buckets against a stale epoch — mutations must publish
+    through ``replace_buckets()``.
 PICKLE001
     Worker-payload pickling.  A class reachable as an argument to a
     pickle boundary (``ShardWorkerPool``, ``parallel_map``,
@@ -155,7 +161,44 @@ class EpochDominanceRule(ProjectRule):
             ):
                 continue
             self._check_class(info)
+        for ctx in self.project.modules.values():
+            if ctx.in_packages(self.config.epoch001_packages):
+                self._check_summary_stores(ctx)
         return self.violations
+
+    # ------------------------------------------------------------------
+    # published-summary stores must go through the epoch-bump path
+    # ------------------------------------------------------------------
+    def _check_summary_stores(self, ctx: ModuleContext) -> None:
+        """Flag ``<receiver>.buckets = ...`` for non-``self``
+        receivers anywhere in the module.
+
+        ``self.buckets = ...`` inside the owning class is the
+        publish implementation itself; every *other* store reaches
+        into another object's summary and bypasses its epoch bump.
+        """
+        for node in ast.walk(ctx.tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if not isinstance(target, ast.Attribute):
+                    continue
+                if target.attr not in \
+                        self.config.epoch001_mutation_attrs:
+                    continue
+                receiver = target.value
+                if isinstance(receiver, ast.Name) \
+                        and receiver.id == "self":
+                    continue
+                self.report(
+                    ctx.path, target,
+                    f"direct store to .{target.attr} bypasses the "
+                    f"owner's atomic epoch bump; publish the tuned "
+                    f"summary through replace_buckets() instead",
+                )
 
     # ------------------------------------------------------------------
     def _analysed_methods(

@@ -200,6 +200,8 @@ def _cmd_fig11(args: argparse.Namespace) -> int:
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
+    if args.feedback:
+        return _cmd_tune_feedback(args)
     from .core import tune_min_skew
 
     data = _load_data(args)
@@ -220,14 +222,113 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_tuned_line(tech: dict) -> "tuple[str, bool]":
+    """One ``engine="tuned"`` summary line plus its pass/fail verdict.
+
+    Fails on a bit-for-bit mismatch with the fresh rebuild, on a
+    conservation violation, or when feedback tuning did not strictly
+    beat the static control at equal bucket budget.
+    """
+    tuned = tech["tuned"]
+    line = (
+        f"{tech['technique']:11s} "
+        f"ops={tuned['ops']:5d} "
+        f"(q={tuned['queries']} i={tuned['inserts']} "
+        f"d={tuned['deletes']}) "
+        f"passes={tuned['tuning_passes']:2d} "
+        f"pairs={tuned['tuning_pairs']:2d} "
+        f"epoch={tuned['final_epoch']:4d} "
+        f"buckets={tuned['n_buckets_tuned']}/"
+        f"{tuned['n_buckets_static']} "
+        f"ARE static={tuned['are_static']:.3f} "
+        f"tuned={tuned['are_tuned']:.3f} "
+        f"({tuned['improvement']:+.3f})"
+    )
+    ok = True
+    if not tuned["tuned_matches"]:
+        line += " STALE-SERVING MISMATCH"
+        ok = False
+    if not tuned["count_conserved"]:
+        line += " COUNT-NOT-CONSERVED"
+        ok = False
+    if tuned["improvement"] <= 0:
+        line += " NO-IMPROVEMENT"
+        ok = False
+    return line, ok
+
+
+def _cmd_tune_feedback(args: argparse.Namespace) -> int:
+    """``repro-spatial tune --feedback``: the self-tuning benchmark.
+
+    Replays the drifting live stream against a feedback-tuned
+    histogram and its static control (the ``engine="tuned"`` bench
+    cell), writes ``BENCH_<name>.json``, and fails unless the tuned
+    histogram strictly beat the static one with bit-identical serving.
+    """
+    from .obs.bench import TUNING_CONFIG, write_bench
+
+    config = TUNING_CONFIG
+    changes: dict = {
+        "name": args.name or "tuned",
+        "datasets": (
+            (args.dataset, args.n if args.n is not None else 2_000),
+        ),
+        "n_buckets": args.buckets,
+        "n_queries": args.queries,
+    }
+    if args.regions is not None:
+        changes["n_regions"] = args.regions
+    if args.ops is not None:
+        if args.ops < 1:
+            raise SystemExit("--ops must be >= 1")
+        changes["live_ops"] = args.ops
+    if args.tune_every is not None:
+        if args.tune_every < 0:
+            raise SystemExit("--tune-every must be >= 0")
+        changes["tune_every"] = args.tune_every
+    if args.drift_x is not None:
+        changes["live_drift_xy"] = (
+            args.drift_x,
+            args.drift_y if args.drift_y is not None
+            else config.live_drift_xy[1],
+        )
+    elif args.drift_y is not None:
+        changes["live_drift_xy"] = (
+            config.live_drift_xy[0], args.drift_y
+        )
+    config = config.replace(**changes)
+
+    doc, path = write_bench(
+        config, out_dir=args.out, deterministic=args.deterministic
+    )
+    consistent = True
+    print(f"# tune {config.name}: {doc['total_seconds']:.1f}s total")
+    for ds in doc["datasets"]:
+        print(f"## {ds['dataset']} n={ds['n']}")
+        for tech in ds["techniques"]:
+            line, ok = _format_tuned_line(tech)
+            consistent = consistent and ok
+            print(line)
+    print(f"wrote {path}")
+    if not consistent:
+        print("feedback tuning gate violated: served answers differ "
+              "from a freshly built engine over the tuned buckets, "
+              "counts were not conserved, or the tuned histogram did "
+              "not beat the static control", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .obs.bench import FULL_CONFIG, QUICK_CONFIG, SERVING_CONFIG, \
-        write_bench
+        TUNING_CONFIG, write_bench
 
     if args.full:
         config = FULL_CONFIG
     elif args.serving:
         config = SERVING_CONFIG
+    elif args.tuning:
+        config = TUNING_CONFIG
     else:
         config = QUICK_CONFIG
     changes = {}
@@ -287,7 +388,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     if changes:
         config = config.replace(**changes)
-    if config.engine in ("sharded", "server"):
+    if config.engine in ("sharded", "server", "tuned"):
         from .eval import BUCKET_TECHNIQUES
         kept = tuple(t for t in config.techniques
                      if t in BUCKET_TECHNIQUES)
@@ -352,6 +453,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 )
                 if not server["server_matches"]:
                     line += " SERVER-MISMATCH"
+            if "tuned" in tech:
+                tuned = tech["tuned"]
+                line += (
+                    f" passes={tuned['tuning_passes']} "
+                    f"vs-static={tuned['improvement']:+.3f}"
+                )
+                if not tuned["tuned_matches"]:
+                    line += " TUNED-MISMATCH"
             print(line)
     print(f"wrote {path}")
     return 0
@@ -435,10 +544,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_live(args: argparse.Namespace) -> int:
-    from .obs.bench import LIVE_CONFIG, write_bench
+    from .obs.bench import LIVE_CONFIG, TUNING_CONFIG, write_bench
 
-    config = LIVE_CONFIG
+    if args.tune and args.sharded is not None:
+        raise SystemExit("--tune and --sharded are mutually exclusive")
+    config = TUNING_CONFIG if args.tune else LIVE_CONFIG
     changes = {}
+    if args.tune:
+        if args.tune_every is not None:
+            if args.tune_every < 0:
+                raise SystemExit("--tune-every must be >= 0")
+            changes["tune_every"] = args.tune_every
+        drift = list(config.live_drift_xy)
+        if args.drift_x is not None:
+            drift[0] = args.drift_x
+        if args.drift_y is not None:
+            drift[1] = args.drift_y
+        changes["live_drift_xy"] = tuple(drift)
     if args.name:
         changes["name"] = args.name
     if args.buckets is not None:
@@ -513,6 +635,11 @@ def _cmd_serve_live(args: argparse.Namespace) -> int:
                     consistent = False
                 print(line)
                 continue
+            if "tuned" in tech:
+                line, ok = _format_tuned_line(tech)
+                consistent = consistent and ok
+                print(line)
+                continue
             live = tech["live"]
             line = (
                 f"{tech['technique']:11s} "
@@ -530,12 +657,25 @@ def _cmd_serve_live(args: argparse.Namespace) -> int:
             print(line)
     print(f"wrote {path}")
     if not consistent:
-        print("serving consistency violated: sharded answers diverged "
-              "from the single-engine reference or a mutation "
-              "invalidated a non-owning shard"
-              if config.engine == "sharded" else
-              "epoch consistency violated: served answers differ from "
-              "a freshly built engine", file=sys.stderr)
+        if config.engine == "sharded":
+            message = (
+                "serving consistency violated: sharded answers "
+                "diverged from the single-engine reference or a "
+                "mutation invalidated a non-owning shard"
+            )
+        elif config.engine == "tuned":
+            message = (
+                "feedback tuning gate violated: served answers "
+                "differ from a freshly built engine over the tuned "
+                "buckets, counts were not conserved, or the tuned "
+                "histogram did not beat the static control"
+            )
+        else:
+            message = (
+                "epoch consistency violated: served answers differ "
+                "from a freshly built engine"
+            )
+        print(message, file=sys.stderr)
         return 1
     return 0
 
@@ -767,14 +907,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "tune",
-        help="auto-select Min-Skew regions/refinements "
-             "(the paper's open problem)",
+        help="auto-select Min-Skew regions/refinements (the paper's "
+             "open problem), or with --feedback run the query-feedback "
+             "self-tuning benchmark against a static control",
     )
     _add_dataset_args(p)
     p.add_argument("--buckets", type=int, default=100)
     p.add_argument("--queries", type=int, default=400)
     p.add_argument("--truth", default="exact",
                    choices=("exact", "sample"))
+    p.add_argument(
+        "--feedback", action="store_true",
+        help="replay a drifting live stream against a feedback-tuned "
+             "histogram and a static control, write BENCH_<name>.json, "
+             "and fail unless tuning strictly improved ARE with "
+             "bit-identical serving",
+    )
+    p.add_argument("--regions", type=int, default=None,
+                   help="Min-Skew grid regions (--feedback only)")
+    p.add_argument("--ops", type=int, default=None,
+                   help="drifting stream length (--feedback only)")
+    p.add_argument("--tune-every", type=int, default=None,
+                   help="operations between tuning passes "
+                        "(--feedback only; 0 disables tuning)")
+    p.add_argument("--drift-x", type=float, default=None,
+                   help="per-insert x bias as a fraction of the MBR "
+                        "width (--feedback only)")
+    p.add_argument("--drift-y", type=float, default=None,
+                   help="per-insert y bias as a fraction of the MBR "
+                        "height (--feedback only)")
+    p.add_argument("--name", default=None,
+                   help="artifact name (--feedback only)")
+    p.add_argument("--out", default=".",
+                   help="output directory (--feedback only)")
+    p.add_argument(
+        "--deterministic", action="store_true",
+        help="zero all wall-clock fields (--feedback only)",
+    )
     p.set_defaults(func=_cmd_tune)
 
     p = sub.add_parser(
@@ -796,18 +965,26 @@ def build_parser() -> argparse.ArgumentParser:
              "scatter-gather router, differentially gated bit-for-bit "
              "against the single-engine union reference",
     )
+    mode.add_argument(
+        "--tuning", action="store_true",
+        help="self-tuning workload: a drifting live stream served by "
+             "a feedback-tuned histogram vs an equal-budget static "
+             "control, with the ARE differential and the bit-for-bit "
+             "rebuild gate",
+    )
     p.add_argument("--name", default=None,
                    help="artifact name (BENCH_<name>.json)")
     p.add_argument(
         "--engine", default=None,
-        choices=("scalar", "batch", "sharded", "server"),
+        choices=("scalar", "batch", "sharded", "server", "tuned"),
         help="estimation path: plain per-technique batch call, the "
              "serving engine with cache+index and a measured speedup "
              "vs the scalar loop, the sharded scatter-gather "
-             "router gated against the single-engine reference, or "
+             "router gated against the single-engine reference, "
              "the micro-batching TCP front door measuring p50/p99 "
              "latency and the speedup over single-query-per-call "
-             "dispatch",
+             "dispatch, or the query-feedback self-tuning cell with "
+             "its ARE-vs-static differential",
     )
     p.add_argument(
         "--concurrency", type=int, default=None, metavar="C",
@@ -924,6 +1101,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="router worker processes for --sharded "
              "(default: 1, inline)",
     )
+    p.add_argument(
+        "--tune", action="store_true",
+        help="serve a *drifting* stream through a feedback-tuned "
+             "histogram against an equal-budget static control; fails "
+             "unless tuning strictly improved ARE with bit-identical "
+             "serving (mutually exclusive with --sharded)",
+    )
+    p.add_argument("--tune-every", type=int, default=None,
+                   help="operations between tuning passes (--tune "
+                        "only; 0 disables tuning)")
+    p.add_argument("--drift-x", type=float, default=None,
+                   help="per-insert x bias as a fraction of the MBR "
+                        "width (--tune only)")
+    p.add_argument("--drift-y", type=float, default=None,
+                   help="per-insert y bias as a fraction of the MBR "
+                        "height (--tune only)")
     p.add_argument("--out", default=".",
                    help="output directory (default: current directory)")
     p.add_argument(

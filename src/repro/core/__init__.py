@@ -7,8 +7,10 @@ from .bucket import (
     BucketArrays,
     assign_by_center,
     buckets_from_assignment,
+    buckets_from_members,
     estimate_many,
     estimate_many_arrays,
+    owner_of_center,
 )
 from .maintenance import MaintainedHistogram
 from .minskew import MinSkewPartitioner, MinSkewResult, SplitRecord
@@ -39,6 +41,8 @@ __all__ = [
     "BucketArrays",
     "assign_by_center",
     "buckets_from_assignment",
+    "buckets_from_members",
+    "owner_of_center",
     "MinSkewPartitioner",
     "MinSkewResult",
     "SplitRecord",

@@ -25,7 +25,7 @@ the average-density answer TA/Area of Section 3.1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -113,7 +113,13 @@ class Bucket:
         unchanged (the summary has nothing left to subtract from).
         Accumulated float error can drive a running average slightly
         negative on the way down; averages are clamped at 0.0 so the
-        :class:`Bucket` invariants hold.
+        :class:`Bucket` invariants hold.  The clamp *absorbs* that
+        error instead of cancelling it, so a long insert/delete stream
+        drifts the running summary away from what
+        :meth:`from_members` would compute — which is why
+        ``MaintainedHistogram.refresh`` re-derives every summary
+        exactly from the retained rows rather than trusting these
+        incremental values.
         """
         if self.count == 0:
             return self
@@ -234,6 +240,23 @@ class BucketArrays:
         m = qcoords.shape[0]
         if m == 0 or self.n == 0:
             return np.zeros(m, dtype=np.float64)
+        return self.estimate_terms(qcoords).sum(axis=1)
+
+    def estimate_terms(self, qcoords: np.ndarray) -> np.ndarray:
+        """The ``(M, B)`` per-bucket terms :meth:`estimate_block` sums.
+
+        Exposed unreduced so an index-pruned probe can evaluate the
+        formula over its candidate subset only, scatter the terms back
+        into a full-width row and reduce over the *original* bucket
+        axis: numpy's reduction groups partial sums by array length,
+        so summing a shorter candidate vector rounds differently in
+        the last ulp than summing the full row with zeros in the
+        pruned slots.  Scatter-then-reduce keeps pruning bit-identical
+        to the unpruned scan.
+        """
+        m = qcoords.shape[0]
+        if m == 0 or self.n == 0:
+            return np.zeros((m, self.n), dtype=np.float64)
         qx1 = qcoords[:, 0][:, np.newaxis]
         qy1 = qcoords[:, 1][:, np.newaxis]
         qx2 = qcoords[:, 2][:, np.newaxis]
@@ -259,7 +282,46 @@ class BucketArrays:
                 np.where(touches, self.counts, 0.0),
                 estimates,
             )
-        return estimates.sum(axis=1)
+        return estimates
+
+    def fraction_block(self, qcoords: np.ndarray) -> np.ndarray:
+        """``(M, B)`` matrix of the Section 3.1 overlap fractions.
+
+        Entry ``(q, b)`` is the fraction of bucket ``b``'s box covered
+        by query ``q`` after the average-extent extension — the factor
+        the range formula multiplies the bucket count by.  A
+        degenerate box contributes 1.0 when the query touches it,
+        matching :meth:`estimate_block`.  The feedback tuner uses this
+        matrix to attribute per-query estimation error to buckets.
+        """
+        m = qcoords.shape[0]
+        if m == 0 or self.n == 0:
+            return np.zeros((m, self.n), dtype=np.float64)
+        qx1 = qcoords[:, 0][:, np.newaxis]
+        qy1 = qcoords[:, 1][:, np.newaxis]
+        qx2 = qcoords[:, 2][:, np.newaxis]
+        qy2 = qcoords[:, 3][:, np.newaxis]
+
+        ex1 = np.maximum(self.x1, qx1 - self.half_w)
+        ex2 = np.minimum(self.x2, qx2 + self.half_w)
+        ey1 = np.maximum(self.y1, qy1 - self.half_h)
+        ey2 = np.minimum(self.y2, qy2 + self.half_h)
+        overlap = (
+            np.clip(ex2 - ex1, 0.0, None) * np.clip(ey2 - ey1, 0.0, None)
+        )
+        fraction = np.minimum(overlap / self.safe_areas, 1.0)
+        areas = (self.x2 - self.x1) * (self.y2 - self.y1)
+        if bool((areas <= 0.0).any()):
+            touches = (
+                (self.x1 <= qx2) & (self.x2 >= qx1)
+                & (self.y1 <= qy2) & (self.y2 >= qy1)
+            )
+            fraction = np.where(
+                areas <= 0.0,
+                np.where(touches, 1.0, 0.0),
+                fraction,
+            )
+        return fraction
 
 
 def estimate_many(
@@ -303,27 +365,76 @@ def estimate_many_arrays(
     return result
 
 
+def _max_edges(boxes: Sequence[Rect]) -> Tuple[float, float]:
+    """Global maximum x/y edge over ``boxes`` (the closed boundary)."""
+    return (
+        max(box.x2 for box in boxes),
+        max(box.y2 for box in boxes),
+    )
+
+
+def owner_of_center(
+    cx: float, cy: float, boxes: Sequence[Rect]
+) -> Optional[int]:
+    """Index of the box owning center ``(cx, cy)``, or ``None``.
+
+    **The tie rule** (shared by every center-assignment path — this
+    scalar probe, :func:`assign_by_center`, the Min-Skew grid
+    labelling, and ``ShardPlan`` routing): each box is half-open,
+    ``[x1, x2) × [y1, y2)``, *except* along the global maximum edges
+    of the box list, where it is closed.  A center sitting exactly on
+    a shared split coordinate therefore belongs to exactly one box
+    (the upper/right neighbour), and a center on the layout MBR's max
+    edge is still covered.  Boxes that genuinely overlap (non-BSP
+    layouts) resolve first-wins, in list order.
+    """
+    if not boxes:
+        return None
+    gx2, gy2 = _max_edges(boxes)
+    for idx, box in enumerate(boxes):
+        in_x = cx >= box.x1 and (
+            cx <= box.x2 if box.x2 >= gx2 else cx < box.x2
+        )
+        in_y = cy >= box.y1 and (
+            cy <= box.y2 if box.y2 >= gy2 else cy < box.y2
+        )
+        if in_x and in_y:
+            return idx
+    return None
+
+
 def assign_by_center(
     rects: RectSet, boxes: Sequence[Rect]
 ) -> np.ndarray:
-    """Assign each rectangle to the first box containing its center.
+    """Assign each rectangle to the box owning its center.
 
-    Returns an ``int64`` array of box indices, −1 where no box contains
-    the center.  Used by partitioners whose boxes are disjoint covers
-    (the BSP families); O(N × B) vectorised.
+    Returns an ``int64`` array of box indices, −1 where no box owns
+    the center.  Ownership follows the documented half-open tie rule
+    of :func:`owner_of_center` — boxes are ``[x1, x2) × [y1, y2)``
+    except along the global max edges, which are closed — so a center
+    lying exactly on a shared split coordinate lands in exactly one
+    box, matching the grid-label assignment used by Min-Skew
+    construction and shard routing.  Used by partitioners whose boxes
+    are disjoint covers (the BSP families); O(N × B) vectorised.
     """
-    centers = rects.centers()
     assignment = np.full(len(rects), -1, dtype=np.int64)
+    if len(rects) == 0 or not boxes:
+        return assignment
+    centers = rects.centers()
+    gx2, gy2 = _max_edges(boxes)
     for idx, box in enumerate(boxes):
         unassigned = assignment == -1
         if not unassigned.any():
             break
         cx = centers[unassigned, 0]
         cy = centers[unassigned, 1]
-        inside = (
-            (cx >= box.x1) & (cx <= box.x2)
-            & (cy >= box.y1) & (cy <= box.y2)
+        in_x = (cx >= box.x1) & (
+            (cx <= box.x2) if box.x2 >= gx2 else (cx < box.x2)
         )
+        in_y = (cy >= box.y1) & (
+            (cy <= box.y2) if box.y2 >= gy2 else (cy < box.y2)
+        )
+        inside = in_x & in_y
         target = np.flatnonzero(unassigned)[inside]
         assignment[target] = idx
     return assignment
@@ -334,25 +445,27 @@ def buckets_from_assignment(
     boxes: Sequence[Rect],
     assignment: np.ndarray,
 ) -> List[Bucket]:
-    """Build one :class:`Bucket` per box from an assignment vector."""
+    """Build one :class:`Bucket` per box from an assignment vector.
+
+    The sums accumulate per label via ``bincount``, which associates
+    additions differently from the pairwise ``np.mean`` reduction in
+    :meth:`Bucket.from_members`; the two can disagree in the last
+    ulp.  Callers needing the exact ``from_members`` form (the
+    maintenance refresh, the feedback tuner) use
+    :func:`buckets_from_members` instead.
+    """
     n_boxes = len(boxes)
-    counts = np.bincount(
-        assignment[assignment >= 0], minlength=n_boxes
-    ).astype(np.int64)
+    assigned = assignment >= 0
+    labels = assignment[assigned]
+    counts = np.bincount(labels, minlength=n_boxes).astype(np.int64)
     sum_w = np.bincount(
-        assignment[assignment >= 0],
-        weights=rects.widths[assignment >= 0],
-        minlength=n_boxes,
+        labels, weights=rects.widths[assigned], minlength=n_boxes
     )
     sum_h = np.bincount(
-        assignment[assignment >= 0],
-        weights=rects.heights[assignment >= 0],
-        minlength=n_boxes,
+        labels, weights=rects.heights[assigned], minlength=n_boxes
     )
     sum_area = np.bincount(
-        assignment[assignment >= 0],
-        weights=rects.areas[assignment >= 0],
-        minlength=n_boxes,
+        labels, weights=rects.areas[assigned], minlength=n_boxes
     )
     buckets: List[Bucket] = []
     for i, box in enumerate(boxes):
@@ -372,3 +485,25 @@ def buckets_from_assignment(
             )
         )
     return buckets
+
+
+def buckets_from_members(
+    rects: RectSet,
+    boxes: Sequence[Rect],
+    assignment: Optional[np.ndarray] = None,
+) -> List[Bucket]:
+    """Exact per-box summaries via :meth:`Bucket.from_members`.
+
+    Bit-for-bit equal to building each bucket as
+    ``Bucket.from_members(box, rects.select(assignment == i))`` — a
+    guarantee :func:`buckets_from_assignment` does *not* make (see
+    its docstring).  The maintenance refresh and the feedback tuner
+    use this form so a drifted incremental summary lands exactly
+    where a fresh ``from_members`` rebuild would.
+    """
+    if assignment is None:
+        assignment = assign_by_center(rects, boxes)
+    return [
+        Bucket.from_members(box, rects.select(assignment == i))
+        for i, box in enumerate(boxes)
+    ]

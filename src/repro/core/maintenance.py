@@ -45,7 +45,7 @@ import numpy as np
 from ..geometry import Rect, RectSet
 from ..obs import OBS
 from ..partitioners.base import Partitioner
-from .bucket import Bucket
+from .bucket import Bucket, buckets_from_members, owner_of_center
 
 
 class MaintainedHistogram:
@@ -184,10 +184,12 @@ class MaintainedHistogram:
     # updates
     # ------------------------------------------------------------------
     def _find_bucket(self, cx: float, cy: float) -> Optional[int]:
-        for i, b in enumerate(self.buckets):
-            if b.bbox.contains_point(cx, cy):
-                return i
-        return None
+        # The shared half-open tie rule (see owner_of_center): a
+        # center exactly on a split coordinate updates the same bucket
+        # that assign_by_center / the grid labelling would give it.
+        return owner_of_center(
+            cx, cy, [b.bbox for b in self.buckets]
+        )
 
     def insert(self, rect: Rect) -> None:
         """Add a rectangle; update the covering bucket's statistics."""
@@ -242,13 +244,45 @@ class MaintainedHistogram:
         return RectSet(np.vstack(self._rows), copy=False, validate=False)
 
     def refresh(self) -> None:
-        """Rebuild the partitioning from the current data (ANALYZE)."""
+        """Rebuild the partitioning from the current data (ANALYZE).
+
+        The partitioner supplies the new bucket *layout*; the
+        per-bucket statistics are then recomputed exactly from the
+        retained rows with :meth:`Bucket.from_members`, discarding
+        whatever float error the incremental running averages (and
+        their 0.0 clamps — see :meth:`Bucket.with_deleted`)
+        accumulated since the last rebuild.  After a refresh the
+        summary is bit-identical to one built fresh from
+        :meth:`current_data`.
+        """
         data = self.current_data()
         if len(data) == 0:
             self.buckets = []
         else:
-            self.buckets = self._partitioner.partition(data)
+            layout = [
+                b.bbox for b in self._partitioner.partition(data)
+            ]
+            self.buckets = buckets_from_members(data, layout)
         self._modifications = 0
         self._uncovered = 0
         self._epoch += 1
         OBS.add("maintenance.refreshes")
+
+    def replace_buckets(self, buckets: List[Bucket]) -> None:
+        """Swap in a tuned bucket list as one atomic mutation.
+
+        The feedback tuner's single entry point into the epoch
+        machinery: the new list becomes visible together with exactly
+        one epoch bump, so every derived consumer — the estimator
+        snapshot, the kernel arrays, the bucket index, the query
+        cache, the shard router — sees either the old or the new
+        summary, never a half-tuned mix.  Structural drift serviced
+        by the pass resets the modification counter; uncovered
+        inserts survive (a tuning pass reshapes existing boxes, it
+        does not extend coverage), so :attr:`needs_refresh` stays
+        honest about layout drift.
+        """
+        self.buckets = list(buckets)
+        self._modifications = 0
+        self._epoch += 1
+        OBS.add("maintenance.tunes")

@@ -15,10 +15,11 @@ A bucket *index* (any object with a ``candidates(query)`` method
 returning bucket positions, e.g. :class:`repro.serving.BucketIndex`)
 can be attached to accelerate scalar probing from O(buckets) to near
 O(answer); the candidate set is a superset of every contributing
-bucket, so pruning never changes which buckets matter — only the
-floating-point summation order over them, which is why the serving
-differential suite runs with the index detached and the index property
-suite compares against the linear scan with a tolerance.
+bucket, so pruning never changes which buckets matter.  The pruned
+path evaluates the kernel over the candidates only but scatters the
+terms into a full-width row before reducing, so even the partial-sum
+grouping matches the linear scan and indexed probing is bit-identical
+to it (the index property suite asserts exact equality).
 """
 
 from __future__ import annotations
@@ -132,7 +133,15 @@ MaintainedEstimator`) override this with their source histogram's
             if len(chosen) == 0:
                 return 0.0
             if len(chosen) < arrays.n:
-                arrays = arrays.select(chosen)
+                # evaluate the formula over the candidates only, but
+                # reduce over a full-width row: numpy groups partial
+                # sums by array length, so summing the short candidate
+                # vector directly would round differently in the last
+                # ulp than the unpruned (and batch-path) scan
+                terms = np.zeros((1, arrays.n), dtype=np.float64)
+                terms[0, chosen] = \
+                    arrays.select(chosen).estimate_terms(qrow)[0]
+                return float(terms.sum(axis=1)[0])
         return float(arrays.estimate_block(qrow)[0])
 
     def _estimate_batch(

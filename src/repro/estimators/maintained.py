@@ -20,6 +20,13 @@ Consistency has two halves:
   (:class:`repro.serving.BatchServingEngine`) watch :attr:`epoch`
   themselves and re-attach a fresh index; see the engine's
   revalidation step.
+
+A feedback tuning pass (:class:`repro.tuning.FeedbackTuner`) is, from
+this adapter's point of view, just another mutation: it replaces the
+histogram's bucket list atomically with exactly one epoch bump, so the
+first query afterwards re-snapshots the tuned layout here exactly as a
+maintenance insert would — no tuning-specific hook exists or is
+needed, and a half-tuned snapshot can never be observed.
 """
 
 from __future__ import annotations

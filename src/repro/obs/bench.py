@@ -70,6 +70,7 @@ __all__ = [
     "SERVING_CONFIG",
     "LIVE_CONFIG",
     "SERVER_CONFIG",
+    "TUNING_CONFIG",
     "measure_overhead",
     "run_bench",
     "write_bench",
@@ -109,7 +110,11 @@ class BenchConfig:
     #: closed-loop TCP clients, records client-observed p50/p99
     #: latency and qps for the batched and the ``max_batch=1``
     #: single-dispatch runs, and differentially gates both against
-    #: the direct engine (see ``server_matches``).
+    #: the direct engine (see ``server_matches``);
+    #: ``"tuned"`` replays a *drifting* live stream against a
+    #: feedback-tuned histogram and an identically budgeted static
+    #: control, recording the ARE differential and the bit-for-bit
+    #: rebuild gate (see ``tuned_matches``).
     engine: str = "scalar"
     #: Worker processes for the per-technique cells (1 = in-process).
     workers: int = 1
@@ -139,6 +144,28 @@ class BenchConfig:
     #: Pipelining window per client: frames sent back to back before
     #: the client reads that window's responses.
     server_window: int = 64
+    #: Deterministic per-insert translation bias of the live stream
+    #: (fraction of the MBR extent per axis; ``engine="tuned"``).  The
+    #: default keeps the stream byte-identical to the pre-drift one.
+    live_drift_xy: Tuple[float, float] = (0.0, 0.0)
+    #: Operations between feedback tuning passes (``engine="tuned"``;
+    #: 0 disables tuning, leaving only the static control).
+    tune_every: int = 0
+    #: Hill-climbing rounds per tuning pass.
+    tune_max_ops: int = 4
+    #: Feedback collector stride: record every Nth served query.
+    feedback_sample: int = 1
+    #: Tuning passes score the most recent ``tune_window`` collected
+    #: queries (accumulated across drains), not just the last drain —
+    #: a broad sample keeps the hill-climber from overfitting one
+    #: burst of the stream.
+    tune_window: int = 2_000
+    #: Operation mix of the ``engine="tuned"`` stream.  The defaults
+    #: match :func:`repro.workload.live_workload`; the tuning preset
+    #: raises the insert share so the biased inserts actually move
+    #: the distribution within the stream's length.
+    live_query_frac: float = 0.6
+    live_insert_frac: float = 0.2
 
     def replace(self, **changes: Any) -> "BenchConfig":
         from dataclasses import replace
@@ -219,6 +246,33 @@ SERVER_CONFIG = BenchConfig(
     concurrency=4,
     server_max_batch=128,
     server_window=128,
+)
+
+#: The self-tuning regression workload: a drifting live stream (every
+#: insert biased toward one corner, so the hotspot migrates) is
+#: replayed against two identically built Min-Skew histograms — one
+#: serving through an engine with a feedback collector attached and
+#: periodically re-split by :class:`repro.tuning.FeedbackTuner`, one
+#: left structurally static.  Both are scored against exact ground
+#: truth over the *final* data at equal bucket budget; the committed
+#: baseline pins ``tuned.are_tuned`` strictly below
+#: ``tuned.are_static`` (the differential CI gates on) and
+#: ``tuned.tuned_matches`` (the tuned engine is bit-identical to a
+#: fresh rebuild over the tuned buckets).
+TUNING_CONFIG = BenchConfig(
+    name="tuning",
+    datasets=(("charminar", 2_000),),
+    n_buckets=16,
+    n_regions=2_500,
+    n_queries=500,
+    techniques=("Min-Skew",),
+    engine="tuned",
+    live_ops=6_000,
+    live_drift_xy=(0.08, 0.06),
+    tune_every=300,
+    tune_max_ops=4,
+    live_query_frac=0.5,
+    live_insert_frac=0.35,
 )
 
 
@@ -308,6 +362,9 @@ def _scrub_cell(cell: Dict[str, Any]) -> Dict[str, Any]:
     live = cell.get("live")
     if isinstance(live, dict):
         live["replay_seconds"] = 0.0
+    tuned = cell.get("tuned")
+    if isinstance(tuned, dict):
+        tuned["replay_seconds"] = 0.0
     metrics = cell.get("metrics")
     if isinstance(metrics, dict):
         metrics["timers"] = {}
@@ -629,6 +686,165 @@ def _bench_live_technique(
     }
 
 
+def _bench_tuned_technique(
+    technique: str,
+    data: "RectSet",
+    config: BenchConfig,
+) -> Dict[str, Any]:
+    """One technique's query-feedback self-tuning cell.
+
+    Two identically built maintained histograms replay the same
+    *drifting* live stream (``config.live_drift_xy`` biases every
+    insert, so the hotspot migrates instead of diffusing).  The tuned
+    side serves through an engine with a
+    :class:`~repro.tuning.FeedbackCollector` attached; every
+    ``config.tune_every`` operations the collected queries are drained
+    and a :class:`~repro.tuning.FeedbackTuner` pass re-splits the
+    worst-estimating buckets (merging cold accurate neighbours to pay
+    for them).  The static side answers the same queries but is never
+    restructured.  Neither side auto-refreshes: the differential
+    isolates what feedback tuning buys at a fixed bucket budget.
+
+    Scoring replays the paper's query model over the *final* data —
+    the drifted reality both histograms now summarise — against the
+    exact counting oracle.  ``tuned.tuned_matches`` is the epoch
+    contract: the long-lived tuned engine's batch answers must be
+    bit-identical to a freshly built engine over the tuned buckets.
+    ``tuned.count_conserved`` checks the tuned summaries still account
+    for exactly the covered rows after interleaved tuning and
+    maintenance.
+    """
+    from ..core.bucket import assign_by_center
+    from ..core.maintenance import MaintainedHistogram
+    from ..estimators import BucketEstimator, MaintainedEstimator
+    from ..serving import BatchServingEngine
+    from ..tuning import FeedbackCollector, FeedbackTuner
+
+    OBS.reset()
+    start = time.perf_counter()
+
+    def built() -> MaintainedHistogram:
+        return MaintainedHistogram(
+            build_partitioner(
+                technique, config.n_buckets, n_regions=config.n_regions
+            ),
+            data,
+            drift_threshold=config.live_drift,
+        )
+
+    tuned_hist = built()
+    static_hist = built()
+    build_seconds = time.perf_counter() - start
+
+    collector = FeedbackCollector(sample_every=config.feedback_sample)
+    estimator = MaintainedEstimator(tuned_hist, name=technique)
+    engine = BatchServingEngine(estimator, feedback=collector)
+    static_engine = BatchServingEngine(
+        MaintainedEstimator(static_hist, name=technique)
+    )
+    tuner = FeedbackTuner(tuned_hist, max_ops=config.tune_max_ops)
+
+    ops = live_workload(
+        data,
+        config.qsize,
+        config.live_ops,
+        seed=config.live_seed,
+        drift=config.live_drift_xy,
+        query_frac=config.live_query_frac,
+        insert_frac=config.live_insert_frac,
+    )
+    counts = {"query": 0, "insert": 0, "delete": 0}
+    window: List["npt.NDArray[np.float64]"] = []
+    start = time.perf_counter()
+    for i, op in enumerate(ops, 1):
+        counts[op.kind] += 1
+        if op.kind == "query":
+            engine.estimate(op.rect)
+            static_engine.estimate(op.rect)
+        elif op.kind == "insert":
+            tuned_hist.insert(op.rect)
+            static_hist.insert(op.rect)
+        else:
+            tuned_hist.delete(op.rect)
+            static_hist.delete(op.rect)
+        if config.tune_every and i % config.tune_every == 0:
+            feedback, _ = collector.drain()
+            if len(feedback):
+                window.append(feedback.coords)
+                sample = np.concatenate(window)[-config.tune_window:]
+                tuner.tune(RectSet(sample, copy=False, validate=False))
+    replay_seconds = time.perf_counter() - start
+
+    # score both sides where the data *ended up*: the paper's query
+    # model regenerated over the post-drift rows
+    final_data = tuned_hist.current_data()
+    eval_queries = range_queries(
+        final_data, config.qsize, config.n_queries,
+        seed=config.query_seed,
+    )
+    start = time.perf_counter()
+    served = engine.estimate_batch(eval_queries)
+    estimate_seconds = time.perf_counter() - start
+    served_static = static_engine.estimate_batch(eval_queries)
+
+    fresh = BatchServingEngine(
+        BucketEstimator(list(tuned_hist.buckets), name=technique)
+    )
+    tuned_matches = bool(
+        np.array_equal(served, fresh.estimate_batch(eval_queries))
+    )
+
+    boxes = [b.bbox for b in tuned_hist.buckets]
+    covered = int((assign_by_center(final_data, boxes) >= 0).sum())
+    total_count = int(round(sum(b.count for b in tuned_hist.buckets)))
+
+    truth = ExperimentRunner(final_data).true_counts(eval_queries)
+    summary = error_summary(truth, served)
+    are_tuned = summary.average_relative_error
+    are_static = error_summary(
+        truth, served_static
+    ).average_relative_error
+
+    snapshot = OBS.snapshot()
+    counters = snapshot["counters"]
+    return {
+        "technique": technique,
+        "build_seconds": build_seconds,
+        "estimate_seconds": estimate_seconds,
+        "size_words": int(estimator.size_words()),
+        "accuracy": {
+            "average_relative_error": summary.average_relative_error,
+            "mean_per_query_error": summary.mean_per_query_error,
+            "median_per_query_error": summary.median_per_query_error,
+            "rmse": summary.rmse,
+            "n_queries": summary.n_queries,
+        },
+        "metrics": snapshot,
+        "tuned": {
+            "ops": len(ops),
+            "queries": counts["query"],
+            "inserts": counts["insert"],
+            "deletes": counts["delete"],
+            "tuning_passes": int(counters.get("tuning.passes", 0)),
+            "tuning_pairs": int(counters.get("tuning.splits", 0)),
+            "feedback_observed": int(
+                counters.get("tuning.observed", 0)
+            ),
+            "feedback_scored": int(counters.get("tuning.scored", 0)),
+            "final_epoch": int(tuned_hist.epoch),
+            "final_n": int(len(final_data)),
+            "n_buckets_static": int(len(static_hist.buckets)),
+            "n_buckets_tuned": int(len(tuned_hist.buckets)),
+            "count_conserved": bool(total_count == covered),
+            "are_static": float(are_static),
+            "are_tuned": float(are_tuned),
+            "improvement": float(are_static - are_tuned),
+            "replay_seconds": replay_seconds,
+            "tuned_matches": tuned_matches,
+        },
+    }
+
+
 def _frontdoor_client(
     host: str,
     port: int,
@@ -901,6 +1117,8 @@ def _bench_technique(
     """
     if config.engine == "live":
         return _bench_live_technique(technique, data, queries, config)
+    if config.engine == "tuned":
+        return _bench_tuned_technique(technique, data, config)
     if config.engine == "sharded":
         return _bench_sharded_technique(
             technique, data, queries, truth, config
@@ -1099,6 +1317,13 @@ def run_bench(
                 "server_max_batch": config.server_max_batch,
                 "server_wait_steps": config.server_wait_steps,
                 "server_window": config.server_window,
+                "live_drift_xy": list(config.live_drift_xy),
+                "tune_every": config.tune_every,
+                "tune_max_ops": config.tune_max_ops,
+                "feedback_sample": config.feedback_sample,
+                "tune_window": config.tune_window,
+                "live_query_frac": config.live_query_frac,
+                "live_insert_frac": config.live_insert_frac,
                 "deterministic": deterministic,
             }
         )
@@ -1145,6 +1370,13 @@ def run_bench(
             "server_max_batch": config.server_max_batch,
             "server_wait_steps": config.server_wait_steps,
             "server_window": config.server_window,
+            "live_drift_xy": list(config.live_drift_xy),
+            "tune_every": config.tune_every,
+            "tune_max_ops": config.tune_max_ops,
+            "feedback_sample": config.feedback_sample,
+            "tune_window": config.tune_window,
+            "live_query_frac": config.live_query_frac,
+            "live_insert_frac": config.live_insert_frac,
         },
         "environment": {
             "python": sys.version.split()[0],

@@ -214,6 +214,50 @@ _SERVER_SCHEMA = {
     },
 }
 
+_TUNED_SCHEMA = {
+    "type": "object",
+    "required": [
+        "ops",
+        "queries",
+        "inserts",
+        "deletes",
+        "tuning_passes",
+        "tuning_pairs",
+        "feedback_observed",
+        "feedback_scored",
+        "final_epoch",
+        "final_n",
+        "n_buckets_static",
+        "n_buckets_tuned",
+        "count_conserved",
+        "are_static",
+        "are_tuned",
+        "improvement",
+        "replay_seconds",
+        "tuned_matches",
+    ],
+    "properties": {
+        "ops": {"type": "integer", "minimum": 1},
+        "queries": {"type": "integer", "minimum": 0},
+        "inserts": {"type": "integer", "minimum": 0},
+        "deletes": {"type": "integer", "minimum": 0},
+        "tuning_passes": {"type": "integer", "minimum": 0},
+        "tuning_pairs": {"type": "integer", "minimum": 0},
+        "feedback_observed": {"type": "integer", "minimum": 0},
+        "feedback_scored": {"type": "integer", "minimum": 0},
+        "final_epoch": {"type": "integer", "minimum": 0},
+        "final_n": {"type": "integer", "minimum": 1},
+        "n_buckets_static": {"type": "integer", "minimum": 1},
+        "n_buckets_tuned": {"type": "integer", "minimum": 1},
+        "count_conserved": {"type": "boolean"},
+        "are_static": {"type": "number", "minimum": 0},
+        "are_tuned": {"type": "number", "minimum": 0},
+        "improvement": {"type": "number"},
+        "replay_seconds": {"type": "number", "minimum": 0},
+        "tuned_matches": {"type": "boolean"},
+    },
+}
+
 _TECHNIQUE_SCHEMA = {
     "type": "object",
     "required": [
@@ -248,6 +292,11 @@ _TECHNIQUE_SCHEMA = {
         # bench ran with engine="server"): client-observed latency
         # percentiles, qps, and the batched-vs-single-dispatch speedup
         "server": _SERVER_SCHEMA,
+        # optional query-feedback self-tuning fields (present when the
+        # bench ran with engine="tuned"): the ARE-vs-static
+        # differential on a drifting live workload plus the
+        # bit-for-bit rebuild gate
+        "tuned": _TUNED_SCHEMA,
     },
 }
 

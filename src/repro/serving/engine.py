@@ -68,6 +68,7 @@ from ..estimators import BucketEstimator, SelectivityEstimator
 from ..geometry import Rect, RectSet, validate_coords_array, validate_extent
 from ..obs import OBS
 from ..resilience import GuardedEstimator
+from ..tuning import FeedbackCollector
 from .cache import QueryCache, canonical_key
 from .index import BucketIndex
 
@@ -115,6 +116,12 @@ class BatchServingEngine(SelectivityEstimator):
         Build and attach a :class:`BucketIndex` to every reachable
         :class:`BucketEstimator` (including ones that only become
         reachable later, when a guarded link builds lazily).
+    feedback:
+        Optional :class:`~repro.tuning.FeedbackCollector`.  Every
+        served (query, answer) pair is offered to it *after* the
+        answer is produced — a deterministic O(1) sampling append
+        that cannot change any answer or any cache/epoch decision.
+        The tuner drains the collector off the hot path.
     """
 
     def __init__(
@@ -123,9 +130,11 @@ class BatchServingEngine(SelectivityEstimator):
         *,
         cache_size: int = DEFAULT_CACHE_SIZE,
         auto_index: bool = True,
+        feedback: Optional[FeedbackCollector] = None,
     ) -> None:
         self.inner = estimator
         self.name = estimator.name
+        self.feedback = feedback
         self.cache: Optional[QueryCache] = (
             QueryCache(cache_size) if cache_size > 0 else None
         )
@@ -257,11 +266,16 @@ class BatchServingEngine(SelectivityEstimator):
         )
         self._revalidate()
         if self.cache is None:
-            return self.inner.estimate(query)
+            value = self.inner.estimate(query)
+            if self.feedback is not None:
+                self.feedback.observe(query, value)
+            return value
         point = self._epoch_point()
         key = canonical_key(query.x1, query.y1, query.x2, query.y2)
         cached = self.cache.lookup(key)
         if cached is not None:
+            if self.feedback is not None:
+                self.feedback.observe(query, cached)
             return cached
         value = self.inner.estimate(query)
         self._observe_chain()
@@ -271,6 +285,8 @@ class BatchServingEngine(SelectivityEstimator):
         # next revalidation's flush cannot race a fresh store
         if self._cacheable() and self._epoch_point() == point:
             self.cache.put(key, value)
+        if self.feedback is not None:
+            self.feedback.observe(query, value)
         return value
 
     def estimate_batch(
@@ -290,7 +306,10 @@ class BatchServingEngine(SelectivityEstimator):
             OBS.add("serving.queries", len(queries))
         with OBS.timer("serving.batch"):
             self._revalidate()
-            return self._serve(queries)
+            values = self._serve(queries)
+        if self.feedback is not None:
+            self.feedback.observe_batch(queries, values)
+        return values
 
     def _serve(self, queries: RectSet) -> npt.NDArray[np.float64]:
         if self.cache is None:

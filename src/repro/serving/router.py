@@ -64,6 +64,7 @@ from ..geometry import Rect, RectSet, validate_coords_array, \
 from ..obs import OBS
 from ..resilience import RetryPolicy, StepClock
 from ..resilience.faults import fire
+from ..tuning import TuningReport
 from .parallel import DEFAULT_POLL_INTERVAL, \
     DEFAULT_REPLY_BUDGET_STEPS, ShardWorkerPool
 from .shard import HistogramShard, ShardedHistogram
@@ -411,6 +412,41 @@ class ShardRouter(SelectivityEstimator):
         if self._pool is not None:
             self._pool.cast(sid, "apply_op", ("insert", rect))
         return sid
+
+    def tune(
+        self,
+        queries: RectSet,
+        *,
+        max_ops: int = 2,
+        grid_nx: int = 8,
+        grid_ny: int = 8,
+    ) -> List[Optional[TuningReport]]:
+        """One feedback pass per shard, replicated to pool workers.
+
+        The authoritative copies run the tuner
+        (:meth:`ShardedHistogram.tune`); in pooled mode each applied
+        layout is then shipped to the owning worker via the same
+        fire-and-forget channel mutations use, so the worker's
+        replica adopts the identical bucket list with its own single
+        epoch bump (:meth:`HistogramShard.adopt_buckets`).  A pass
+        that found nothing to change casts nothing — the replica's
+        epoch only moves when the parent's did.
+        """
+        reports = self.sharded.tune(
+            queries, max_ops=max_ops, grid_nx=grid_nx,
+            grid_ny=grid_ny,
+        )
+        for shard, report in zip(self.sharded.shards, reports):
+            if report is None or not report.applied:
+                continue
+            if OBS.enabled:
+                OBS.add("serving.shard.routed_tunes")
+            if self._pool is not None:
+                self._pool.cast(
+                    shard.shard_id, "adopt_buckets",
+                    (list(shard.buckets),),
+                )
+        return reports
 
     def delete(self, rect: Rect) -> Tuple[int, bool]:
         """Delete via the owning shard; ``(shard id, accepted)``."""

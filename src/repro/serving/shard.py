@@ -69,6 +69,7 @@ from ..resilience import (
     GuardedEstimator,
     StepClock,
 )
+from ..tuning import FeedbackTuner, TuningReport
 from .engine import DEFAULT_CACHE_SIZE, BatchServingEngine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -440,6 +441,51 @@ class HistogramShard:
         ):
             self.hist.refresh()
 
+    def tune(
+        self,
+        queries: RectSet,
+        *,
+        max_ops: int = 2,
+        grid_nx: int = 8,
+        grid_ny: int = 8,
+    ) -> Optional[TuningReport]:
+        """One feedback pass over this shard's own rows.
+
+        Each shard scores the sampled queries against *its* exact
+        oracle — shard answers are additive, so per-shard truth is
+        the shard's contribution to the union answer.  The tuner
+        publishes through the histogram's ``replace_buckets`` (one
+        epoch bump), which the shard :attr:`epoch`, the
+        :meth:`routing_box` cache, the engine's revalidation, and any
+        union reference all pick up through the normal staleness
+        machinery.  Deliberately not WAL-journaled: a tuned layout
+        lost to a crash is re-derivable from future feedback, while
+        recovery restores a bit-consistent pre-tune snapshot.
+        Returns ``None`` for a shard that has no histogram yet.
+        """
+        if self.hist is None:
+            return None
+        tuner = FeedbackTuner(
+            self.hist, max_ops=max_ops,
+            grid_nx=grid_nx, grid_ny=grid_ny,
+        )
+        return tuner.tune(queries)
+
+    def adopt_buckets(self, buckets: List[Bucket]) -> None:
+        """Adopt a tuned bucket list published elsewhere.
+
+        Replica entry point for pooled serving: the authoritative
+        (parent) copy runs the tuner, then ships the resulting layout
+        to the owning worker so both copies publish the identical
+        buckets through :meth:`replace_buckets` — one epoch bump on
+        each side, no recomputation, no chance of the replica's
+        hill-climb diverging.  Like :meth:`tune`, deliberately not
+        WAL-journaled.  A shard with no histogram ignores the adopt.
+        """
+        if self.hist is None:
+            return
+        self.hist.replace_buckets(list(buckets))
+
     # ------------------------------------------------------------------
     # write-ahead logging + recovery
     # ------------------------------------------------------------------
@@ -683,6 +729,29 @@ class ShardedHistogram:
         """Delete; returns ``(owning shard id, accepted)``."""
         sid = self.owner_of(rect)
         return sid, self.shards[sid].delete(rect)
+
+    def tune(
+        self,
+        queries: RectSet,
+        *,
+        max_ops: int = 2,
+        grid_nx: int = 8,
+        grid_ny: int = 8,
+    ) -> List[Optional[TuningReport]]:
+        """Run one feedback pass on every built shard.
+
+        Every shard receives the full query sample and scores it
+        against its own rows (see :meth:`HistogramShard.tune`); each
+        tuned shard moves only its own epoch, preserving the tier's
+        owner-only invalidation property.
+        """
+        return [
+            shard.tune(
+                queries, max_ops=max_ops,
+                grid_nx=grid_nx, grid_ny=grid_ny,
+            )
+            for shard in self.shards
+        ]
 
     # ------------------------------------------------------------------
     def union_estimator(self) -> "ShardUnionEstimator":

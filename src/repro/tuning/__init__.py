@@ -1,0 +1,31 @@
+"""Query-feedback self-tuning of maintained histograms.
+
+Closes the loop the paper leaves open: a Min-Skew histogram is built
+once and degrades as the data and the workload drift.  This package
+samples served queries off the hot path, scores them against the exact
+counting oracle, attributes the estimation error to buckets via the
+Section 3.1 overlap fractions, and re-splits the highest-error buckets
+(reusing the Min-Skew split criterion on the retained rows) while
+merging cold, accurate siblings — all under the fixed bucket quota.
+
+A tuning pass publishes through
+:meth:`repro.core.MaintainedHistogram.replace_buckets`, i.e. as one
+atomic mutation with exactly one epoch bump, so the whole serving tier
+(estimator snapshots, batch engines, shard routers, the front door)
+picks it up through the existing staleness machinery with no new
+invalidation paths.
+"""
+
+from .feedback import (
+    FeedbackCollector,
+    FeedbackRecord,
+    FeedbackTuner,
+    TuningReport,
+)
+
+__all__ = [
+    "FeedbackCollector",
+    "FeedbackRecord",
+    "FeedbackTuner",
+    "TuningReport",
+]

@@ -176,6 +176,7 @@ def live_workload(
     query_frac: float = 0.6,
     insert_frac: float = 0.2,
     bounds: Optional[Rect] = None,
+    drift: Tuple[float, float] = (0.0, 0.0),
 ) -> List[LiveOp]:
     """Generate an interleaved query/insert/delete operation stream.
 
@@ -188,6 +189,12 @@ def live_workload(
     * **inserts** clone a random live rectangle and translate it by a
       jitter of up to 10 % of the MBR extent (clipped to the MBR), so
       the distribution drifts without leaving the space;
+    * ``drift`` adds a *deterministic* per-insert translation bias
+      (fraction of the MBR extent per axis) on top of the jitter, so
+      the insert stream migrates the hotspot instead of diffusing in
+      place — the workload the self-tuning layer is gated on.  The
+      bias consumes no RNG draws, so ``drift=(0, 0)`` (the default)
+      reproduces the exact pre-drift operation stream byte for byte;
     * **deletes** remove a rectangle chosen uniformly from the current
       live set, so every delete hits — a
       :class:`~repro.core.maintenance.MaintainedHistogram` replaying
@@ -242,8 +249,12 @@ def live_workload(
             ops.append(LiveOp("query", rect))
         elif kind == 1:
             x1, y1, x2, y2 = live[int(gen.integers(0, len(live)))]
-            dx = float(gen.uniform(-0.1, 0.1)) * mbr.width
-            dy = float(gen.uniform(-0.1, 0.1)) * mbr.height
+            dx = (
+                float(gen.uniform(-0.1, 0.1)) + drift[0]
+            ) * mbr.width
+            dy = (
+                float(gen.uniform(-0.1, 0.1)) + drift[1]
+            ) * mbr.height
             w = x2 - x1
             h = y2 - y1
             nx1 = min(max(x1 + dx, mbr.x1), mbr.x2 - w)

@@ -79,19 +79,22 @@ class ServedEngine:
 
     ``estimate_batch`` answers a :class:`RectSet`; ``insert`` /
     ``delete`` route a mutation through the stack's own entry point;
-    ``reference`` is the single-engine union answer over the *current*
-    shard state (so it tracks mutations).  The building fixture owns
-    ``close``.
+    ``tune`` runs one feedback pass through the stack's own entry
+    point (the router's in pooled mode, so worker replicas adopt the
+    tuned layout); ``reference`` is the single-engine union answer
+    over the *current* shard state (so it tracks mutations and
+    tuning).  The building fixture owns ``close``.
     """
 
     def __init__(self, kind, sharded, estimate_batch, insert,
-                 delete, close):
+                 delete, close, tune):
         self.kind = kind
         self.sharded = sharded
         self.estimate_batch = estimate_batch
         self.insert = insert
         self.delete = delete
         self.close = close
+        self.tune = tune
 
     def reference(self, queries):
         return self.sharded.union_estimator().estimate_batch(queries)
@@ -123,7 +126,7 @@ def _build_served_engine(kind, data, *, n_shards=3, n_buckets=16,
         return ServedEngine(
             kind, sharded, serve,
             insert=sharded.insert, delete=sharded.delete,
-            close=lambda: None,
+            close=lambda: None, tune=sharded.tune,
         )
     router = ShardRouter(
         sharded, workers=2 if kind == "pooled" else 0
@@ -132,7 +135,7 @@ def _build_served_engine(kind, data, *, n_shards=3, n_buckets=16,
         return ServedEngine(
             kind, sharded, router.estimate_batch,
             insert=router.insert, delete=router.delete,
-            close=router.close,
+            close=router.close, tune=router.tune,
         )
     if kind != "server":
         raise ValueError(f"unknown served-engine kind {kind!r}")
@@ -161,7 +164,7 @@ def _build_served_engine(kind, data, *, n_shards=3, n_buckets=16,
         delete=lambda rect: front.mutate(
             "delete", (rect.x1, rect.y1, rect.x2, rect.y2)
         ),
-        close=close,
+        close=close, tune=router.tune,
     )
 
 

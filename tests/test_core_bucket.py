@@ -7,10 +7,13 @@ from hypothesis import strategies as st
 
 from repro.core import (
     Bucket,
+    MinSkewPartitioner,
     assign_by_center,
     buckets_from_assignment,
     estimate_many,
+    owner_of_center,
 )
+from repro.data import charminar
 from repro.geometry import Rect, RectSet
 
 
@@ -183,3 +186,137 @@ class TestAssignment:
         assignment = assign_by_center(rs, boxes)
         buckets = buckets_from_assignment(rs, boxes, assignment)
         assert sum(b.count for b in buckets) == n
+
+
+class TestCenterTieBreaking:
+    """Regression: centers lying *exactly* on split coordinates.
+
+    The documented rule (``owner_of_center``): boxes are half-open,
+    ``[x1, x2) × [y1, y2)``, closed only along the global max edges.
+    Before the rule, a center on a shared edge satisfied the closed
+    containment test of both neighbours and ownership silently fell
+    to whichever box came first in list order."""
+
+    SPLIT_BOXES = [Rect(0, 0, 5, 10), Rect(5, 0, 10, 10)]
+
+    def test_center_on_shared_split_goes_to_upper_box(self):
+        rs = RectSet.from_centers([5.0], [5.0], [2.0], [2.0])
+        assert assign_by_center(rs, self.SPLIT_BOXES).tolist() == [1]
+
+    def test_ownership_is_independent_of_list_order(self):
+        rs = RectSet.from_centers([5.0], [5.0], [2.0], [2.0])
+        forward = assign_by_center(rs, self.SPLIT_BOXES)
+        swapped = assign_by_center(rs, self.SPLIT_BOXES[::-1])
+        assert self.SPLIT_BOXES[forward[0]] == \
+            self.SPLIT_BOXES[::-1][swapped[0]]
+
+    def test_global_max_edges_stay_covered(self):
+        # closed only at the layout's outer boundary: the corner and
+        # max-edge centers still land in the upper/right box
+        rs = RectSet.from_centers(
+            [10.0, 5.0, 10.0], [5.0, 10.0, 10.0],
+            [1.0, 1.0, 1.0], [1.0, 1.0, 1.0],
+        )
+        boxes = [
+            Rect(0, 0, 5, 5), Rect(5, 0, 10, 5),
+            Rect(0, 5, 5, 10), Rect(5, 5, 10, 10),
+        ]
+        assert assign_by_center(rs, boxes).tolist() == [3, 3, 3]
+
+    def test_scalar_probe_agrees_with_vector_assignment(self):
+        boxes = [
+            Rect(0, 0, 5, 5), Rect(5, 0, 10, 5),
+            Rect(0, 5, 5, 10), Rect(5, 5, 10, 10),
+        ]
+        # every lattice point, including the split lines and max edges
+        coords = [float(v) for v in range(11)]
+        cx = np.array([x for x in coords for _ in coords])
+        cy = np.array([y for _ in coords for y in coords])
+        n = len(cx)
+        rs = RectSet.from_centers(cx, cy, np.ones(n), np.ones(n))
+        assignment = assign_by_center(rs, boxes)
+        for i in range(n):
+            owner = owner_of_center(cx[i], cy[i], boxes)
+            expected = -1 if owner is None else owner
+            assert assignment[i] == expected
+        # a BSP cover assigns every interior center exactly once
+        assert (assignment >= 0).all()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_split_centers_partition_exactly_once(self, seed):
+        """Centers snapped onto split coordinates never double-count
+        and never drop: counts still partition the input."""
+        gen = np.random.default_rng(seed)
+        n = int(gen.integers(1, 80))
+        # centers drawn from the split lattice itself
+        cx = gen.choice([0.0, 25.0, 50.0, 75.0, 100.0], n)
+        cy = gen.choice([0.0, 25.0, 50.0, 75.0, 100.0], n)
+        rs = RectSet.from_centers(
+            cx, cy, gen.uniform(0, 5, n), gen.uniform(0, 5, n)
+        )
+        edges = [0.0, 25.0, 50.0, 75.0, 100.0]
+        boxes = [
+            Rect(edges[i], edges[j], edges[i + 1], edges[j + 1])
+            for i in range(4)
+            for j in range(4)
+        ]
+        assignment = assign_by_center(rs, boxes)
+        assert (assignment >= 0).all()
+        buckets = buckets_from_assignment(rs, boxes, assignment)
+        assert sum(b.count for b in buckets) == n
+
+
+class TestAssignmentSummaryHoist:
+    def test_bit_identical_to_per_statistic_masking(self):
+        """Regression for the ``buckets_from_assignment`` hoist: the
+        single precomputed ``assigned`` mask must reproduce the old
+        recompute-per-statistic form bit-for-bit on real data."""
+        data = charminar(2_000, seed=5)
+        boxes = [
+            b.bbox
+            for b in MinSkewPartitioner(
+                16, n_regions=256
+            ).partition(data)
+        ]
+        assignment = assign_by_center(data, boxes)
+        hoisted = buckets_from_assignment(data, boxes, assignment)
+
+        # the pre-hoist form: mask recomputed for every column
+        n_boxes = len(boxes)
+        counts = np.bincount(
+            assignment[assignment >= 0], minlength=n_boxes
+        ).astype(np.int64)
+        sum_w = np.bincount(
+            assignment[assignment >= 0],
+            weights=data.widths[assignment >= 0],
+            minlength=n_boxes,
+        )
+        sum_h = np.bincount(
+            assignment[assignment >= 0],
+            weights=data.heights[assignment >= 0],
+            minlength=n_boxes,
+        )
+        sum_area = np.bincount(
+            assignment[assignment >= 0],
+            weights=data.areas[assignment >= 0],
+            minlength=n_boxes,
+        )
+        reference = []
+        for i, box in enumerate(boxes):
+            c = int(counts[i])
+            if c == 0:
+                reference.append(Bucket(box, 0))
+                continue
+            area = box.area
+            reference.append(
+                Bucket(
+                    box,
+                    c,
+                    avg_width=float(sum_w[i] / c),
+                    avg_height=float(sum_h[i] / c),
+                    avg_density=float(sum_area[i] / area)
+                    if area > 0 else float(c),
+                )
+            )
+        assert hoisted == reference

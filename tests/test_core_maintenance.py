@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.core import MaintainedHistogram, MinSkewPartitioner
+from repro.core import (
+    MaintainedHistogram,
+    MinSkewPartitioner,
+    buckets_from_members,
+)
 from repro.counting import brute_force_counts
 from repro.data import uniform_rects
 from repro.estimators import BucketEstimator
@@ -105,6 +109,53 @@ class TestDriftAndRefresh:
         hist.refresh()
         assert hist.buckets == []
         assert hist.estimate(Rect(0, 0, 10, 10)) == 0.0
+
+    def test_refresh_discards_running_average_drift(self):
+        """Regression: the incremental running averages clamp at 0.0
+        on the way down (:meth:`Bucket.with_deleted`), so a long
+        insert/delete stream drifts them away from the exact
+        ``from_members`` values.  ``refresh`` must not inherit that
+        drift: after it, every bucket is bit-identical to one built
+        fresh over the retained rows."""
+        data = uniform_rects(600, seed=41)
+        hist = MaintainedHistogram(
+            MinSkewPartitioner(12, n_regions=144), data,
+            drift_threshold=1.0,  # effectively never auto-trips
+        )
+        gen = np.random.default_rng(42)
+        live = [data[i] for i in range(len(data))]
+        mbr = data.mbr()
+        for step in range(2_000):
+            if live and gen.uniform() < 0.5:
+                victim = live.pop(int(gen.integers(len(live))))
+                assert hist.delete(victim)
+            else:
+                cx = gen.uniform(mbr.x1, mbr.x2)
+                cy = gen.uniform(mbr.y1, mbr.y2)
+                r = Rect.from_center(
+                    cx, cy, gen.uniform(0, 9), gen.uniform(0, 9)
+                )
+                hist.insert(r)
+                live.append(r)
+
+        # the incremental summary really has drifted off the exact
+        # values by now (this is what made the bug observable)
+        retained = hist.current_data()
+        boxes_now = [b.bbox for b in hist.buckets]
+        assert hist.buckets != buckets_from_members(
+            retained, boxes_now
+        )
+
+        hist.refresh()
+
+        layout = [
+            b.bbox
+            for b in MinSkewPartitioner(
+                12, n_regions=144
+            ).partition(hist.current_data())
+        ]
+        fresh = buckets_from_members(hist.current_data(), layout)
+        assert hist.buckets == fresh  # bit-for-bit
 
 
 class TestEpoch:

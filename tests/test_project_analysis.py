@@ -455,6 +455,60 @@ class TestEpoch001:
         })
         assert rule_findings("EPOCH001", project) == []
 
+    def test_nonself_bucket_store_fires_in_tuning(self, tmp_path):
+        """``repro.tuning`` is in EPOCH001 scope: a tuner that swaps
+        the summary directly instead of publishing through
+        ``replace_buckets`` (the atomic epoch bump) is a finding."""
+        project = project_of(tmp_path, {
+            "tuning/feedback.py": """
+                class Tuner:
+                    def tune(self, hist, buckets):
+                        hist.buckets = buckets
+            """,
+        })
+        found = rule_findings("EPOCH001", project)
+        assert len(found) == 1
+        assert "replace_buckets" in found[0].message
+
+    def test_bucket_store_via_attribute_chain_fires(self, tmp_path):
+        project = project_of(tmp_path, {
+            "serving/shard.py": """
+                class Shard:
+                    def adopt(self, buckets):
+                        self.hist.buckets = buckets
+            """,
+        })
+        found = rule_findings("EPOCH001", project)
+        assert len(found) == 1
+        assert "epoch bump" in found[0].message
+
+    def test_epoch_publish_path_is_clean(self, tmp_path):
+        """Publishing through ``replace_buckets`` — and the owner's
+        own ``self.buckets`` store inside it — is the sanctioned
+        path."""
+        project = project_of(tmp_path, {
+            "tuning/feedback.py": """
+                class Tuner:
+                    def tune(self, hist, buckets):
+                        hist.replace_buckets(buckets)
+            """,
+            "estimators/maintained.py": """
+                class MaintainedEstimator:
+                    def sync(self):
+                        self.buckets = list(self._histogram.buckets)
+            """,
+        })
+        assert rule_findings("EPOCH001", project) == []
+
+    def test_bucket_store_outside_scope_ignored(self, tmp_path):
+        project = project_of(tmp_path, {
+            "viz/plot.py": """
+                def restyle(hist, buckets):
+                    hist.buckets = buckets
+            """,
+        })
+        assert rule_findings("EPOCH001", project) == []
+
 
 # ----------------------------------------------------------------------
 # PICKLE001
@@ -901,14 +955,14 @@ class TestMutationSelfTest:
         source = engine.read_text()
         guarded = (
             "self._revalidate()\n"
-            "            return self._serve(queries)"
+            "            values = self._serve(queries)"
         )
         assert guarded in source, (
             "estimate_batch no longer matches the mutation template; "
             "update this test alongside the engine"
         )
         engine.write_text(source.replace(
-            guarded, "return self._serve(queries)"
+            guarded, "values = self._serve(queries)"
         ))
         result = lint_project([tree_copy])
         assert any(
@@ -968,12 +1022,38 @@ class TestMutationSelfTest:
         )
         assert main(["lint", "--project", str(tree_copy)]) == 1
 
+    def test_bypassing_replace_buckets_fires_epoch001(
+        self, tree_copy
+    ):
+        """Swapping the tuner's atomic publish for a direct
+        ``hist.buckets = ...`` store must flip the pass."""
+        feedback = tree_copy / "tuning" / "feedback.py"
+        source = feedback.read_text()
+        guarded = "hist.replace_buckets(buckets)"
+        assert guarded in source, (
+            "the tuner no longer matches the mutation template; "
+            "update this test alongside the feedback tuner"
+        )
+        feedback.write_text(source.replace(
+            guarded, "hist.buckets = list(buckets)"
+        ))
+        result = lint_project([tree_copy])
+        fired = [
+            v for v in result.violations if v.rule == "EPOCH001"
+        ]
+        assert fired, "\n".join(
+            v.format() for v in result.violations
+        )
+        assert any(
+            "replace_buckets" in v.message for v in fired
+        )
+
     def test_cli_exits_nonzero_on_mutated_tree(self, tree_copy):
         engine = tree_copy / "serving" / "engine.py"
         source = engine.read_text()
         engine.write_text(source.replace(
             "self._revalidate()\n"
-            "            return self._serve(queries)",
-            "return self._serve(queries)",
+            "            values = self._serve(queries)",
+            "values = self._serve(queries)",
         ))
         assert main(["lint", "--project", str(tree_copy)]) == 1
